@@ -1,0 +1,43 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper's Section 6 (see DESIGN.md's experiment index and EXPERIMENTS.md
+for the recorded paper-vs-measured comparison).  The speedup series are
+printed AND saved under ``results/`` because pytest captures stdout.
+
+Problem sizes are scaled down from the paper's (the simulator is pure
+Python); each benchmark documents its scaling and preserves the ratios
+that drive the memory-system effects being measured (array/cache size,
+line/element size, page/partition size).
+"""
+
+import pytest
+
+from repro.codegen.spmd import Scheme
+from repro.machine import scaled_dash
+from repro.machine.simulate import speedup_curve
+from repro.report import format_speedup_table, save_experiment
+
+ALL_SCHEMES = [Scheme.BASE, Scheme.COMP_DECOMP, Scheme.COMP_DECOMP_DATA]
+PROCS = [1, 2, 4, 8, 16, 32]
+
+BASE = Scheme.BASE.value
+CD = Scheme.COMP_DECOMP.value
+CDD = Scheme.COMP_DECOMP_DATA.value
+
+
+def run_speedups(prog, machine_kwargs, procs=PROCS, schemes=None):
+    """Compile + simulate a program across schemes and processor counts."""
+    factory = lambda p: scaled_dash(p, **machine_kwargs)
+    return speedup_curve(prog, schemes or ALL_SCHEMES, factory, procs)
+
+
+def record(name, title, curves):
+    text = format_speedup_table(curves, title=title)
+    print("\n" + text)
+    save_experiment(name, text)
+    return text
+
+
+def series(curves, scheme):
+    return dict(curves[scheme])

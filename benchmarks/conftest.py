@@ -1,0 +1,10 @@
+"""Pytest configuration for the experiment benchmarks.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Helpers live in
+``_common.py``; results are printed and saved under ``results/``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

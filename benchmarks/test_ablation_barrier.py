@@ -1,0 +1,61 @@
+"""Ablation — barrier elimination (Section 6.2.1).
+
+For vpenta, "since the compiler can determine that each processor
+accesses exactly the same partition of the arrays across the loops, the
+code generator can eliminate barriers between some of the loops.  This
+accounts for the slight increase in performance of the computation
+decomposition version over the base compiler."
+
+This ablation takes the decomposed vpenta, forces a barrier after every
+phase, and measures the synchronization the proof of locality removes.
+"""
+
+from copy import copy
+
+from _common import save_experiment
+from repro.apps import vpenta
+from repro.codegen.spmd import Scheme, SyncKind
+from repro.compiler import compile_program
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate
+
+N = 64
+P = 32
+
+
+def _with_forced_barriers(spmd):
+    clone = copy(spmd)
+    clone.phases = [copy(p) for p in spmd.phases]
+    for p in clone.phases:
+        if p.sync_after is SyncKind.NONE:
+            p.sync_after = SyncKind.BARRIER
+    return clone
+
+
+def test_ablation_barrier_elimination(benchmark):
+    def run():
+        prog = vpenta.build(n=N, time_steps=2)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP, P)
+        machine = scaled_dash(P, scale=4, word_bytes=8)
+        optimized = simulate(spmd, machine)
+        forced = simulate(_with_forced_barriers(spmd), machine)
+        return optimized, forced, spmd
+
+    optimized, forced, spmd = benchmark.pedantic(run, rounds=1, iterations=1)
+    eliminated = sum(
+        1 for p in spmd.phases if p.sync_after is SyncKind.NONE
+    )
+    text = (
+        f"vpenta N={N}, P={P} (comp decomp)\n"
+        f"  barriers eliminated by locality proof: {eliminated} per step\n"
+        f"  time with elimination:    {optimized.total_time:.3e}\n"
+        f"  time with forced barriers:{forced.total_time:.3e}\n"
+        f"  improvement: {forced.total_time / optimized.total_time:.3f}x"
+    )
+    print("\n" + text)
+    save_experiment("ablation_barrier", text)
+    # all four phases access processor-local partitions
+    assert eliminated == len(spmd.phases)
+    # the paper calls the effect a "slight increase": real but modest
+    assert forced.total_time > optimized.total_time
+    assert forced.total_time < 2.0 * optimized.total_time

@@ -1,0 +1,67 @@
+"""Ablation — BLOCK-CYCLIC folding (Section 3.2: "we choose a
+block-cyclic scheme only when pipelining is used in parallelizing a
+loop and load balance is an issue").
+
+LU is the program where both conditions meet: the doacross needs
+coarse blocks for cheap pipelining, while the shrinking trailing
+submatrix needs cyclic spreading for balance.  This ablation sweeps the
+three foldings on LU and records the trade-off the heuristic navigates:
+CYCLIC balances best, BLOCK pipelines cheapest, BLOCK-CYCLIC sits
+between.
+"""
+
+from copy import deepcopy
+
+import numpy as np
+
+from _common import save_experiment
+from repro.apps import lu
+from repro.codegen.spmd import Scheme, generate_spmd
+from repro.compiler import restructure_program
+from repro.decomp.greedy import decompose_program
+from repro.decomp.model import FoldKind, Folding
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate
+
+N = 64
+P = 16
+
+
+def _run(folding):
+    prog = restructure_program(lu.build(n=N))
+    decomp = deepcopy(decompose_program(prog, P))
+    decomp.foldings = [folding]
+    spmd = generate_spmd(prog, Scheme.COMP_DECOMP_DATA, P, decomp=decomp)
+    res = simulate(spmd, scaled_dash(P, scale=16, word_bytes=8))
+    cyc = np.zeros(P)
+    for pc in res.phase_costs:
+        cyc += pc.per_proc_cycles
+    imbalance = float(cyc.max() / max(cyc.mean(), 1e-9))
+    return res.total_time, imbalance
+
+
+def test_ablation_block_cyclic(benchmark):
+    def run():
+        return {
+            "BLOCK": _run(Folding(FoldKind.BLOCK)),
+            "CYCLIC": _run(Folding(FoldKind.CYCLIC)),
+            # block=2 gives 32 blocks wrapping twice around 16 procs
+            "BLOCK_CYCLIC(2)": _run(Folding(FoldKind.BLOCK_CYCLIC, 2)),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"LU N={N}, P={P}: folding trade-off"]
+    for label, (t, imb) in out.items():
+        lines.append(f"  {label:16s} time={t:.3e} imbalance={imb:.2f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_experiment("ablation_blockcyclic", text)
+
+    t_b, i_b = out["BLOCK"]
+    t_c, i_c = out["CYCLIC"]
+    t_bc, i_bc = out["BLOCK_CYCLIC(2)"]
+    # balance ordering: cyclic <= block-cyclic <= block
+    assert i_c <= i_bc + 0.05
+    assert i_bc <= i_b + 0.05
+    # block-cyclic must not be the worst choice overall
+    assert t_bc <= t_b * 1.05 or t_bc <= t_c * 1.05

@@ -1,0 +1,64 @@
+"""Ablation — folding choice (Section 3.2 step 3).
+
+The paper chooses CYCLIC "if the computation of an iteration in a
+parallelized loop either decreases or increases with the iteration
+number" — LU's trailing submatrix shrinks every step, so block-ordered
+columns would leave the low-numbered processors idle.  This ablation
+forces BLOCK folding onto LU's decomposition and measures the load
+imbalance the heuristic avoids.
+"""
+
+from copy import deepcopy
+
+import numpy as np
+
+from _common import save_experiment
+from repro.apps import lu
+from repro.codegen.spmd import Scheme, generate_spmd
+from repro.compiler import restructure_program
+from repro.decomp.greedy import decompose_program
+from repro.decomp.model import FoldKind, Folding
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate
+
+N = 64
+P = 16
+
+
+def _simulate_with_folding(kind):
+    prog = restructure_program(lu.build(n=N))
+    decomp = decompose_program(prog, P)
+    decomp = deepcopy(decomp)
+    decomp.foldings = [Folding(kind)]
+    spmd = generate_spmd(prog, Scheme.COMP_DECOMP_DATA, P, decomp=decomp)
+    machine = scaled_dash(P, scale=16, word_bytes=8)
+    res = simulate(spmd, machine)
+    # load imbalance: slowest / average processor cycles over the run
+    cyc = np.zeros(P)
+    for pc in res.phase_costs:
+        cyc += pc.per_proc_cycles
+    imbalance = float(cyc.max() / max(cyc.mean(), 1e-9))
+    return res.total_time, imbalance
+
+
+def test_ablation_lu_folding(benchmark):
+    def run():
+        return {
+            "CYCLIC": _simulate_with_folding(FoldKind.CYCLIC),
+            "BLOCK": _simulate_with_folding(FoldKind.BLOCK),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    (t_cyc, imb_cyc) = out["CYCLIC"]
+    (t_blk, imb_blk) = out["BLOCK"]
+    text = (
+        f"LU N={N}, P={P} (comp decomp + data transform)\n"
+        f"  CYCLIC folding: time={t_cyc:.3e}, imbalance={imb_cyc:.2f}\n"
+        f"  BLOCK  folding: time={t_blk:.3e}, imbalance={imb_blk:.2f}\n"
+        f"  heuristic advantage: {t_blk / t_cyc:.2f}x"
+    )
+    print("\n" + text)
+    save_experiment("ablation_folding", text)
+    # the triangular workload makes BLOCK markedly less balanced
+    assert imb_blk > imb_cyc
+    assert t_blk > t_cyc

@@ -1,0 +1,99 @@
+"""Section 4.3 ablation — the address optimizations.
+
+The paper: "if these operations are performed on every array access,
+the overhead will be much greater than any performance gained by
+improved cache behavior ... The optimizations have proved to be
+important and effective."
+
+This benchmark measures the dynamic division/modulo counts of the
+transformed-address code with and without the three optimizations, for
+the two layouts the paper's examples use:
+
+* the (BLOCK, *) SPMD loop of Section 4.3 (strip-invariant elimination:
+  the whole inner range sits in one strip -> zero div/mod per
+  iteration);
+* a CYCLIC layout traversed sequentially (strength reduction: the
+  carry fires once per P iterations).
+"""
+
+from _common import save_experiment
+from repro.codegen.addrexpr import build_address_expr, count_divmod
+from repro.codegen.optimize import optimize_ref_address
+from repro.datatrans.transform import derive_layout
+from repro.decomp.hpf import parse_distribute
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import Var
+
+
+def _block_case(n=128, p=8):
+    """Per-processor loop over its strip of a (BLOCK,*) array."""
+    decl = ArrayDecl("A", (n, n))
+    dd, folds = parse_distribute("(BLOCK, *)", "A", 2)
+    ta = derive_layout(decl, dd, folds, [p])
+    addr = build_address_expr(ta.layout, (Var("I"), Var("J")))
+    b = -(-n // p)
+    # processor 3's strip: I in [3b, 4b)
+    rep = optimize_ref_address(addr, "I", (3 * b, 4 * b - 1),
+                               {"J": (0, n - 1)})
+    trips = b
+    entries = n  # the I loop runs once per J
+    return rep, trips, entries
+
+
+def _cyclic_case(n=128, p=8):
+    """Sequential traversal of a (CYCLIC,*) array (strength reduction)."""
+    decl = ArrayDecl("A", (n, n))
+    dd, folds = parse_distribute("(CYCLIC, *)", "A", 2)
+    ta = derive_layout(decl, dd, folds, [p])
+    addr = build_address_expr(ta.layout, (Var("I"), Var("J")))
+    rep = optimize_ref_address(addr, "I", (0, n - 1), {"J": (0, n - 1)})
+    return rep, n, n
+
+
+def test_addropt_block_invariant(benchmark):
+    rep, trips, entries = benchmark.pedantic(
+        _block_case, rounds=1, iterations=1
+    )
+    naive, opt = rep.dynamic_counts(trips, entries)
+    assert rep.optimized_per_iter == 0.0
+    assert opt <= naive / trips * 2  # per-entry only
+    save_experiment(
+        "addropt_block",
+        f"(BLOCK,*) strip loop: naive div/mod = {naive:.0f}, "
+        f"optimized = {opt:.0f}  ({naive / max(opt, 1):.0f}x fewer)",
+    )
+
+
+def test_addropt_cyclic_strength(benchmark):
+    rep, trips, entries = benchmark.pedantic(
+        _cyclic_case, rounds=1, iterations=1
+    )
+    naive, opt = rep.dynamic_counts(trips, entries)
+    assert opt < naive / 4
+    save_experiment(
+        "addropt_cyclic",
+        f"(CYCLIC,*) sequential loop: naive div/mod = {naive:.0f}, "
+        f"optimized = {opt:.0f}  ({naive / max(opt, 1):.1f}x fewer)",
+    )
+
+
+def test_addropt_summary_table(benchmark):
+    def run():
+        rows = []
+        for label, case in [("(BLOCK,*) strip", _block_case),
+                            ("(CYCLIC,*) sweep", _cyclic_case)]:
+            rep, trips, entries = case()
+            naive, opt = rep.dynamic_counts(trips, entries)
+            strategies = ",".join(sorted({p.strategy for p in rep.plans}))
+            rows.append((label, naive, opt, strategies))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'case':20s} {'naive':>10s} {'optimized':>10s}  strategies"]
+    for label, naive, opt, strategies in rows:
+        lines.append(f"{label:20s} {naive:10.0f} {opt:10.1f}  {strategies}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_experiment("addropt_ablation", text)
+    for _, naive, opt, _ in rows:
+        assert opt < naive

@@ -1,0 +1,104 @@
+"""Figures 2 and 3 — the data-transformation primitives, element by
+element.
+
+Figure 2: a 12-element array strip-mined with strip size 3, then
+transposed, making every third element contiguous.
+
+Figure 3: an 8x4 array restructured for (BLOCK,*), (CYCLIC,*) and
+(BLOCK-CYCLIC(2),*) over P=2, with the new index tuples, new array
+bounds, and new linearized addresses.
+
+These are exact-value reproductions (no simulation): the tables printed
+here are the paper's figures.
+"""
+
+from _common import record, save_experiment
+from repro.datatrans.layout import Layout
+from repro.datatrans.primitives import index_table, strip_mine, transpose
+from repro.datatrans.transform import derive_layout
+from repro.decomp.hpf import parse_distribute
+from repro.ir.arrays import ArrayDecl
+
+
+def _figure2_tables():
+    original = Layout.identity((12,))
+    stripped = strip_mine(original, 0, 3)
+    final = transpose(stripped)
+    return original, stripped, final
+
+
+def test_fig02_strip_mine_and_permute(benchmark):
+    original, stripped, final = benchmark.pedantic(
+        _figure2_tables, rounds=1, iterations=1
+    )
+    # (b) strip-mined indices: element i -> (i mod 3, i div 3), same addr
+    for i in range(12):
+        assert stripped.map_index((i,)) == (i % 3, i // 3)
+        assert stripped.linearize((i,)) == i
+    # (c) transposed: every third element contiguous
+    lines = ["Figure 2: i -> (b) strip-mined index/addr -> (c) final"]
+    for i in range(12):
+        lines.append(
+            f"  {i:2d} -> {stripped.map_index((i,))}/{stripped.linearize((i,)):2d}"
+            f" -> {final.map_index((i,))}/{final.linearize((i,)):2d}"
+        )
+        assert final.linearize((i,)) == i // 3 + 4 * (i % 3)
+    save_experiment("fig02_stripmine", "\n".join(lines))
+
+
+def _figure3(dist):
+    decl = ArrayDecl("A", (8, 4), 4)
+    dd, folds = parse_distribute(dist, "A", 2)
+    return derive_layout(decl, dd, folds, grid=[2])
+
+
+def test_fig03_block(benchmark):
+    ta = benchmark.pedantic(_figure3, args=("(BLOCK,*)",), rounds=1,
+                            iterations=1)
+    # Figure 3(d): new bounds (b, d2, P) = (4, 4, 2)
+    assert ta.layout.dims == (4, 4, 2)
+    # spot values from Figure 3(c)
+    assert ta.layout.map_index((4, 0)) == (0, 0, 1)
+    assert ta.layout.linearize((4, 0)) == 16
+    assert ta.layout.map_index((7, 3)) == (3, 3, 1)
+    assert ta.layout.linearize((7, 3)) == 31
+    _save_fig3_table("fig03_block", ta)
+
+
+def test_fig03_cyclic(benchmark):
+    ta = benchmark.pedantic(_figure3, args=("(CYCLIC,*)",), rounds=1,
+                            iterations=1)
+    assert ta.layout.dims == (4, 4, 2)
+    assert ta.layout.map_index((1, 0)) == (0, 0, 1)
+    assert ta.layout.linearize((1, 0)) == 16
+    assert ta.layout.map_index((6, 0)) == (3, 0, 0)
+    _save_fig3_table("fig03_cyclic", ta)
+
+
+def test_fig03_block_cyclic(benchmark):
+    ta = benchmark.pedantic(_figure3, args=("(CYCLIC(2),*)",), rounds=1,
+                            iterations=1)
+    # Figure 3(d): (b, d1/(b P), d2, P) = (2, 2, 4, 2)
+    assert ta.layout.dims == (2, 2, 4, 2)
+    # processor = middle strip dim = (i1 div b) mod P
+    for i1 in range(8):
+        assert ta.owner_coords((i1, 0)) == ((i1 // 2) % 2,)
+    _save_fig3_table("fig03_block_cyclic", ta)
+
+
+def _save_fig3_table(name, ta):
+    lines = [f"layout dims {ta.layout.dims}"]
+    for (orig, new, addr) in index_table(ta.layout):
+        lines.append(f"  {orig} -> {new} @ {addr}")
+    # The defining property: each processor's share is contiguous.
+    per = {}
+    for i in range(8):
+        for j in range(4):
+            per.setdefault(ta.owner_coords((i, j)), []).append(
+                ta.layout.linearize((i, j))
+            )
+    for o, addrs in per.items():
+        s = sorted(addrs)
+        assert s[-1] - s[0] == len(s) - 1
+        lines.append(f"  proc {o}: addresses {s[0]}..{s[-1]} (contiguous)")
+    save_experiment(name, "\n".join(lines))

@@ -1,0 +1,42 @@
+"""Figure 4 — Vpenta speedups.
+
+Paper: base 4.2x at 32 processors; computation decomposition adds a
+little (barrier elimination); the data transformation of the 3-D array
+delivers the jump to 14.3x.  A dip appears toward 32 processors from
+intra-processor conflicts.
+
+Reproduction: N=64 (paper 128), DOUBLE; cache 16KB (64KB/4) keeps the
+paper's plane-stride aliasing (N^2*8 = 32KB = 2 caches, so all arrays'
+columns alias pairwise, exactly like 128KB vs 64KB).
+
+Shape criteria: base == comp-decomp up to synchronization; comp-decomp +
+data-transform clearly best at 32 (the restructured 3-D array stops
+aliasing the coefficient columns).  Our absolute base speedup runs much
+higher than the paper's (see EXPERIMENTS.md for the recorded deviation:
+the model's sequential baseline pays the same aliasing penalty, which
+cancels in the ratio).
+"""
+
+from _common import BASE, CD, CDD, record, run_speedups, series
+from repro.apps import vpenta
+
+
+def test_fig04_vpenta(benchmark):
+    prog = vpenta.build(n=64, time_steps=2)
+    curves = benchmark.pedantic(
+        run_speedups,
+        args=(prog, dict(scale=4, word_bytes=8)),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig04_vpenta", "Figure 4: vpenta (N=64, scaled DASH /4)", curves)
+    base = series(curves, BASE)
+    cd = series(curves, CD)
+    cdd = series(curves, CDD)
+    # data transformation is the decisive technique (Table 1: both
+    # checkmarks, but the jump comes from the layout change)
+    assert cdd[32] > 1.3 * base[32]
+    assert cdd[32] > 1.3 * cd[32]
+    # comp-decomp alone is only a modest change over base (the paper:
+    # same parallelization, barriers become cheaper synchronization)
+    assert 0.8 * base[32] < cd[32] < 1.3 * base[32]

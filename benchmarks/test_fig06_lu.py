@@ -1,0 +1,64 @@
+"""Figure 6 — LU decomposition speedups, two data-set sizes.
+
+Paper: base degrades (19.5 at best, with dips); comp-decomp (cyclic
+columns, locks instead of barriers) is good but *erratic* — for the
+1Kx1K size every 8th column maps to the same 64KB-cache location, and
+with 32 processors each processor's cyclic columns alias perfectly:
+"the speedup for 31 processors is 5 times better than for 32".  The
+data transformation packs each processor's columns contiguously:
+"performance stabilizes and is consistently high" (33.5).
+
+Reproduction:
+* large size N=64, cache 4KB (aliasing period = cache/column = 8
+  columns; cyclic stride 32 = 0 mod 8 reproduces the 32-processor
+  cliff; 31 is coprime and spreads),
+* small size N=48, same machine (no power-of-two pathology, matching
+  the better-behaved 256x256 curve).
+"""
+
+from _common import BASE, CD, CDD, record, run_speedups, series
+from repro.apps import lu
+
+PROCS = [1, 2, 4, 8, 16, 31, 32]
+
+
+def test_fig06_lu_large(benchmark):
+    prog = lu.build(n=64)
+    curves = benchmark.pedantic(
+        run_speedups,
+        args=(prog, dict(scale=16, word_bytes=8)),
+        kwargs=dict(procs=PROCS),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig06_lu_large",
+           "Figure 6 (right): LU 1Kx1K -> N=64, scaled DASH /16", curves)
+    base = series(curves, BASE)
+    cd = series(curves, CD)
+    cdd = series(curves, CDD)
+    # the 31-vs-32 conflict cliff exists for comp-decomp...
+    assert cd[31] > 1.2 * cd[32]
+    # ...and the data transformation removes it
+    assert cdd[32] > 0.8 * cdd[31]
+    # fully optimized beats base and is the best at 32
+    assert cdd[32] > base[32]
+    assert cdd[32] >= cd[32]
+
+
+def test_fig06_lu_small(benchmark):
+    prog = lu.build(n=48)
+    curves = benchmark.pedantic(
+        run_speedups,
+        args=(prog, dict(scale=16, word_bytes=8)),
+        kwargs=dict(procs=[1, 2, 4, 8, 16, 32]),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig06_lu_small",
+           "Figure 6 (left): LU 256x256 -> N=48, scaled DASH /16", curves)
+    base = series(curves, BASE)
+    cdd = series(curves, CDD)
+    assert cdd[32] > base[32]
+    # the small size plateaus (pipeline fill dominates a small matrix),
+    # as the paper's 256x256 curve also flattens near its peak
+    assert cdd[32] > 0.85 * cdd[8]

@@ -1,0 +1,33 @@
+"""Figure 11 — Erlebacher (3-D tridiagonal solves) speedups.
+
+Paper: base 11.6 at 32 (X and Y phases local, Z phase non-local);
+comp-decomp improves slightly (no non-local Z accesses; the read-only
+input array is replicated); restructuring DUZ makes the Z phase's local
+references contiguous, reaching 20.2 — a modest gain because two-thirds
+of the program is already perfectly parallel and local.
+
+Reproduction: N=20^3 (paper 64^3), DOUBLE, cache 4KB (64KB/16).
+"""
+
+from _common import BASE, CD, CDD, record, run_speedups, series
+from repro.apps import erlebacher
+
+
+def test_fig11_erlebacher(benchmark):
+    prog = erlebacher.build(n=20, time_steps=2)
+    curves = benchmark.pedantic(
+        run_speedups,
+        args=(prog, dict(scale=16, word_bytes=8)),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig11_erlebacher",
+           "Figure 11: Erlebacher (N=20^3, scaled DASH /16)", curves)
+    base = series(curves, BASE)
+    cd = series(curves, CD)
+    cdd = series(curves, CDD)
+    # full optimization wins, but only modestly (the paper: 12.23 -> 20.2)
+    assert cdd[32] > base[32]
+    assert cdd[32] < 2.5 * base[32]
+    # data transformation adds over comp-decomp (DUZ restructuring)
+    assert cdd[32] > cd[32]

@@ -1,0 +1,63 @@
+"""Diagonal layouts — the Section 4.1.2 extension.
+
+The paper notes its framework generalizes beyond permutations:
+"rotating a two-dimensional array by 45 degrees makes data along a
+diagonal contiguous", with two embeddings — the enclosing box (simple
+addressing) or packed diagonals (compact).  A wavefront computation,
+which visits one anti-diagonal per step, is the use case.
+
+Run:  python examples/diagonal_wavefront.py
+"""
+
+import numpy as np
+
+from repro.datatrans.diagonal import diagonal_layout
+from repro.datatrans.layout import Layout
+from repro.machine.cache import CacheConfig, direct_mapped_hits
+
+N = 64
+
+
+def wavefront_trace(linearize, element_size=4):
+    """Addresses touched by a wavefront sweep (one diagonal per step)."""
+    addrs = []
+    for d in range(2 * N - 1):
+        for i in range(max(0, d - N + 1), min(d, N - 1) + 1):
+            addrs.append(linearize((i, d - i)) * element_size)
+    return np.array(addrs)
+
+
+def main():
+    colmajor = Layout.identity((N, N))
+    boxed = diagonal_layout((N, N), packed=False)
+    packed = diagonal_layout((N, N), packed=True)
+
+    # A cache smaller than one diagonal's column-major span: the
+    # rotated layouts stream at 1 miss per line (4 REAL*4 per 16B line),
+    # while column-major misses on almost every access.
+    cfg = CacheConfig(size_bytes=512, line_bytes=16)
+    print(f"wavefront sweep over a {N}x{N} REAL*4 array "
+          f"({cfg.size_bytes}B direct-mapped cache):\n")
+    print(f"{'layout':22s} {'storage':>8s} {'misses':>8s} {'miss rate':>10s}")
+    for label, lay in [("column-major", colmajor),
+                       ("diagonal (boxed)", boxed),
+                       ("diagonal (packed)", packed)]:
+        trace = wavefront_trace(lay.linearize)
+        proc = np.zeros(len(trace), dtype=np.int64)
+        hits = direct_mapped_hits(proc, trace, cfg)
+        misses = int((~hits).sum())
+        size = lay.size
+        print(f"{label:22s} {size:8d} {misses:8d} "
+              f"{misses / len(trace):10.1%}")
+
+    print(
+        "\nAlong each diagonal the rotated layouts are stride-1 "
+        "(spatial locality), while column-major strides by N-1 elements "
+        "and misses on nearly every access.  The packed embedding needs "
+        "no padding; the boxed one trades storage for simpler "
+        "addressing — the two options the paper sketches."
+    )
+
+
+if __name__ == "__main__":
+    main()

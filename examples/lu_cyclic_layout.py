@@ -1,0 +1,55 @@
+"""LU decomposition: cyclic columns, the 31-vs-32 processor cliff, and
+how the data transformation removes it (the paper's Section 6.2.2).
+
+Run:  python examples/lu_cyclic_layout.py
+"""
+
+from repro.apps import lu
+from repro.compiler import Scheme, compile_program, restructure_program
+from repro.decomp.greedy import decompose_program
+from repro.decomp.hpf import distribute_string
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate
+
+N = 64
+
+
+def main():
+    prog = lu.build(n=N)
+    decomp = decompose_program(restructure_program(prog), 32)
+    dd = decomp.data_for("A")
+    print("LU decomposition analysis:")
+    print(f"  A distributed {distribute_string(dd, decomp.foldings)} "
+          f"(paper Table 1: A(*, CYCLIC))")
+    print(f"  pipelined nests: {decomp.pipelined_nests}")
+    print(f"  notes: {decomp.notes}\n")
+
+    # The cyclic layout: processor p owns columns p, p+P, p+2P, ...
+    # Restructured, those columns become contiguous.
+    spmd = compile_program(prog, Scheme.COMP_DECOMP_DATA, 4)
+    ta = spmd.transformed["A"]
+    print(f"restructured A dims: {ta.layout.dims}")
+    for col in (0, 4, 8):
+        addr = ta.layout.linearize((0, col))
+        print(f"  A(0, {col}) -> address {addr} "
+              f"(owner {ta.owner_coords((0, col))})")
+    print()
+
+    # The conflict cliff: with a direct-mapped cache whose aliasing
+    # period divides P, a processor's cyclic columns all collide.
+    factory = lambda p: scaled_dash(p, scale=16, word_bytes=8)
+    print(f"{'scheme':32s} {'P=31':>12s} {'P=32':>12s}")
+    for scheme in (Scheme.COMP_DECOMP, Scheme.COMP_DECOMP_DATA):
+        times = []
+        for p in (31, 32):
+            res = simulate(compile_program(prog, scheme, p), factory(p))
+            times.append(res.total_time)
+        print(f"{scheme.value:32s} {times[0]:12.3e} {times[1]:12.3e}"
+              f"   (32/31 ratio {times[1] / times[0]:.2f})")
+    print("\ncomp-decomp suffers at P=32; the data transformation "
+          "stabilizes it (paper: '31 processors is 5 times better than "
+          "32' before, 'consistently high' after).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Five-point stencil: two-dimensional blocks and why the layout change
+is what makes them profitable (the paper's Section 6.2.3).
+
+The decomposition phase picks (BLOCK, BLOCK) for its better
+communication-to-computation ratio — but with FORTRAN column-major
+layouts each processor's 2-D block is scattered across the address
+space, and the program gets SLOWER than the naive base parallelization.
+The data transformation packs each block contiguously and wins.
+
+Run:  python examples/stencil_blocks.py
+"""
+
+from repro.apps import stencil5
+from repro.compiler import Scheme, compile_program, restructure_program
+from repro.decomp.greedy import decompose_program
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate
+
+N = 96
+P = 32
+
+
+def main():
+    prog = stencil5.build(n=N, time_steps=4)
+    decomp = decompose_program(restructure_program(prog), P)
+    print("stencil decomposition:")
+    print(decomp.summary())
+    print()
+
+    factory = lambda p: scaled_dash(p, scale=32, word_bytes=4,
+                                    page_bytes=512)
+    seq = simulate(compile_program(prog, Scheme.BASE, 1), factory(1))
+    print(f"{'scheme':34s} {'speedup@32':>10s}  miss breakdown")
+    for scheme in (Scheme.BASE, Scheme.COMP_DECOMP,
+                   Scheme.COMP_DECOMP_DATA):
+        res = simulate(compile_program(prog, scheme, P), factory(P))
+        speedup = seq.total_time / res.total_time
+        mb = res.miss_breakdown
+        detail = (f"remote={mb['remote']} false_share={mb['false_sharing']} "
+                  f"replace={mb['replacement']}")
+        print(f"{scheme.value:34s} {speedup:10.2f}  {detail}")
+
+    print(
+        "\nThe scattered 2-D blocks of COMP DECOMP pay remote misses "
+        "(first-touch pages span several processors' row segments) and "
+        "false sharing at block boundaries; the restructured layout "
+        "makes both vanish."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — reproduction of "Data and Computation Transformations for
+Multiprocessors" (Anderson, Amarasinghe & Lam, PPoPP 1995).
+
+Public API map:
+
+* :mod:`repro.ir` — the affine loop-nest IR and builder DSL;
+* :mod:`repro.analysis` — dependence tests and unimodular restructuring;
+* :mod:`repro.decomp` — phase 1: computation/data decomposition;
+* :mod:`repro.datatrans` — phase 2: strip-mine + permute layouts;
+* :mod:`repro.codegen` — SPMD generation, address optimizations, C
+  emission, semantic execution;
+* :mod:`repro.machine` — the scaled-DASH memory-system model;
+* :mod:`repro.apps` — the paper's benchmark programs;
+* :mod:`repro.compiler` — the three Section-6 pipelines;
+* :mod:`repro.report` — experiment formatting.
+"""
+
+from repro.compiler import Scheme, compile_all, compile_program
+
+__version__ = "1.0.0"
+
+__all__ = ["Scheme", "compile_all", "compile_program", "__version__"]

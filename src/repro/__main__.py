@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro list
+    python -m repro decompose lu --n 32 --procs 8
+    python -m repro run stencil5 --n 64 --procs 16 --scale 32
+    python -m repro emit simple --scheme data --n 16 --procs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import ALL_APPS
+from repro.compiler import (
+    Scheme,
+    compile_program,
+    emit_c_program,
+    restructure_program,
+)
+
+SCHEME_NAMES = {
+    "base": Scheme.BASE,
+    "comp": Scheme.COMP_DECOMP,
+    "data": Scheme.COMP_DECOMP_DATA,
+}
+
+
+def _build(name: str, n: int):
+    if name not in ALL_APPS:
+        raise SystemExit(
+            f"unknown app {name!r}; available: {', '.join(sorted(ALL_APPS))}"
+        )
+    mod = ALL_APPS[name]
+    import inspect
+
+    sig = inspect.signature(mod.build)
+    kwargs = {"n": n}
+    return mod.build(**kwargs)
+
+
+def cmd_list(args) -> int:
+    print("benchmark programs (repro.apps):")
+    for name, mod in sorted(ALL_APPS.items()):
+        doc = (mod.__doc__ or "").strip().splitlines()
+        head = doc[0] if doc else ""
+        print(f"  {name:12s} {head}")
+    return 0
+
+
+def cmd_decompose(args) -> int:
+    prog = _build(args.app, args.n)
+    from repro.decomp.greedy import decompose_program
+
+    decomp = decompose_program(restructure_program(prog), args.procs)
+    print(decomp.summary())
+    if args.verbose:
+        for (nest, stmt), cd in sorted(decomp.comp.items()):
+            print(f"  C[{nest}#{stmt}] = {cd.matrix}")
+    return 0
+
+
+def cmd_emit(args) -> int:
+    prog = _build(args.app, args.n)
+    spmd = compile_program(prog, SCHEME_NAMES[args.scheme], args.procs)
+    print(emit_c_program(spmd))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.machine import scaled_dash
+    from repro.machine.simulate import speedup_curve
+    from repro.report import format_speedup_table
+
+    prog = _build(args.app, args.n)
+    schemes = (
+        [SCHEME_NAMES[args.scheme]]
+        if args.scheme != "all"
+        else list(SCHEME_NAMES.values())
+    )
+    factory = lambda p: scaled_dash(
+        p, scale=args.scale,
+        word_bytes=min(d.element_size for d in prog.arrays.values()),
+    )
+    procs = [int(x) for x in args.procs_list.split(",")]
+    curves = speedup_curve(prog, schemes, factory, procs)
+    print(format_speedup_table(
+        curves, title=f"{args.app} N={args.n}, scaled DASH /{args.scale}"
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Anderson/Amarasinghe/Lam PPoPP'95 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark programs")
+
+    p = sub.add_parser("decompose", help="show a program's decomposition")
+    p.add_argument("app")
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--verbose", action="store_true")
+
+    p = sub.add_parser("emit", help="emit the SPMD C source")
+    p.add_argument("app")
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--scheme", choices=sorted(SCHEME_NAMES), default="data")
+
+    p = sub.add_parser("run", help="simulate and print speedups")
+    p.add_argument("app")
+    p.add_argument("--n", type=int, default=48)
+    p.add_argument("--procs-list", default="1,2,4,8,16,32")
+    p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--scheme", choices=sorted(SCHEME_NAMES) + ["all"],
+                   default="all")
+
+    args = parser.parse_args(argv)
+    return {
+        "list": cmd_list,
+        "decompose": cmd_decompose,
+        "emit": cmd_emit,
+        "run": cmd_run,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Program analyses: dependence testing and unimodular parallelization.
+
+These are the preprocessing steps of the paper's Section 3: restructure
+each nest to expose the largest outermost band of parallel loops, and
+compute the dependence information that both the parallelizer and the
+decomposition phase consume.
+"""
+
+from repro.analysis.dependence import (
+    Dependence,
+    analyze_nest,
+    dependence_distance_table,
+)
+from repro.analysis.parallelism import (
+    parallel_levels,
+    outermost_parallel_level,
+)
+from repro.analysis.unimodular import expose_outer_parallelism
+
+__all__ = [
+    "Dependence",
+    "analyze_nest",
+    "dependence_distance_table",
+    "parallel_levels",
+    "outermost_parallel_level",
+    "expose_outer_parallelism",
+]

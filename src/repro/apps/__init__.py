@@ -1,0 +1,35 @@
+"""The paper's benchmark programs (Section 6.2), expressed in the IR.
+
+Each module provides:
+
+* ``build(n, ...) -> Program`` — the program at a configurable size
+  (the experiments use scaled-down sizes with a proportionally scaled
+  machine; see EXPERIMENTS.md);
+* ``reference(init, ...) -> dict`` — a vectorized NumPy golden model
+  used by the tests to validate the IR program's semantics;
+* ``PAPER_*`` constants recording what the paper used.
+"""
+
+from repro.apps import (
+    adi,
+    erlebacher,
+    lu,
+    simple,
+    stencil5,
+    swm,
+    tomcatv,
+    vpenta,
+)
+
+ALL_APPS = {
+    "simple": simple,
+    "vpenta": vpenta,
+    "lu": lu,
+    "stencil5": stencil5,
+    "adi": adi,
+    "erlebacher": erlebacher,
+    "swm": swm,
+    "tomcatv": tomcatv,
+}
+
+__all__ = ["ALL_APPS"] + list(ALL_APPS)

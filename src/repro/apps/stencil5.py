@@ -1,0 +1,71 @@
+"""Five-point stencil (Section 6.2.3, Figure 7).
+
+A Jacobi-style relaxation: ``A`` is computed from the five-point
+neighbourhood of ``B``, then copied back, under a time loop.  Both loops
+of the update are parallel, so the decomposition phase assigns
+two-dimensional blocks (better communication-to-computation ratio than
+one-dimensional strips) — but without the data transformation each
+processor's 2-D block is non-contiguous and performance *drops below
+the base compiler* (the paper's key negative result for
+computation-only optimization).  Restructuring the arrays into blocked
+layout recovers it: the paper reports 29x on 32 processors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+PAPER_N = 512
+PAPER_ELEMENT = 4  # REAL
+
+
+def build(n: int = 128, time_steps: int = 4) -> Program:
+    pb = ProgramBuilder("stencil5", params={"N": n}, time_steps=time_steps)
+    a = pb.array("A", (n, n), element_size=PAPER_ELEMENT)
+    b = pb.array("B", (n, n), element_size=PAPER_ELEMENT)
+    i1, i2 = pb.vars("I1", "I2")
+    pb.nest(
+        "update",
+        [("I1", 1, n - 2), ("I2", 1, n - 2)],
+        [
+            pb.assign(
+                a(i2, i1),
+                [
+                    b(i2, i1),
+                    b(i2 - 1, i1),
+                    b(i2 + 1, i1),
+                    b(i2, i1 - 1),
+                    b(i2, i1 + 1),
+                ],
+                lambda c, n_, s, w, e: 0.2 * (c + n_ + s + w + e),
+            )
+        ],
+    )
+    pb.nest(
+        "copy",
+        [("I1", 1, n - 2), ("I2", 1, n - 2)],
+        [pb.assign(b(i2, i1), [a(i2, i1)], lambda x: x)],
+    )
+    return pb.build()
+
+
+def reference(
+    init: Mapping[str, np.ndarray], n: int, time_steps: int = 4
+) -> Dict[str, np.ndarray]:
+    a = np.array(init["A"], dtype=np.float64)
+    b = np.array(init["B"], dtype=np.float64)
+    for _ in range(time_steps):
+        a[1:-1, 1:-1] = 0.2 * (
+            b[1:-1, 1:-1]
+            + b[:-2, 1:-1]
+            + b[2:, 1:-1]
+            + b[1:-1, :-2]
+            + b[1:-1, 2:]
+        )
+        b[1:-1, 1:-1] = a[1:-1, 1:-1]
+    return {"A": a, "B": b}

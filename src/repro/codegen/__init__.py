@@ -1,0 +1,40 @@
+"""SPMD code generation (the paper's Section 4.3).
+
+Transformed arrays are declared as linear arrays and accessed through
+linearized addresses containing integer division and modulo; this
+package builds those address expressions, applies the paper's three
+address optimizations (strip-invariant div/mod elimination, iteration
+peeling at strip boundaries, and mod/div strength reduction), partitions
+iterations across processors according to the computation
+decomposition, emits inspectable C-like source, and executes programs
+numerically to validate that transformations preserve semantics.
+"""
+
+from repro.codegen.addrexpr import (
+    AExpr,
+    AVar,
+    AConst,
+    build_address_expr,
+    count_divmod,
+)
+from repro.codegen.optimize import optimize_ref_address, AddressCostReport
+from repro.codegen.spmd import SpmdProgram, SpmdPhase, generate_spmd
+from repro.codegen.executor import execute_program
+from repro.codegen.emit_c import emit_c_program
+from repro.codegen.emit_optimized import emit_optimized_program
+
+__all__ = [
+    "AExpr",
+    "AVar",
+    "AConst",
+    "build_address_expr",
+    "count_divmod",
+    "optimize_ref_address",
+    "AddressCostReport",
+    "SpmdProgram",
+    "SpmdPhase",
+    "generate_spmd",
+    "execute_program",
+    "emit_c_program",
+    "emit_optimized_program",
+]

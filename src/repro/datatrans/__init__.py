@@ -1,0 +1,37 @@
+"""Data transformation framework (the paper's Section 4).
+
+Array layouts are rebuilt from two primitives with direct analogues in
+loop-transformation theory:
+
+* **strip-mining** — re-organize one dimension as a two-dimensional
+  (within-strip, strip-number) structure;
+* **permutation** — reorder dimensions (a transpose generalizes to any
+  dimension permutation).
+
+Given the data decompositions from the first phase,
+:func:`derive_layout` applies the Section 4.2 recipe per distributed
+dimension (BLOCK / CYCLIC / BLOCK-CYCLIC) and moves the
+processor-identifying dimensions to the slowest-varying positions,
+making each processor's partition contiguous in the shared address
+space.
+"""
+
+from repro.datatrans.layout import DimAtom, Layout
+from repro.datatrans.primitives import strip_mine, permute, transpose
+from repro.datatrans.transform import TransformedArray, derive_layout
+from repro.datatrans.legality import (
+    LegalityError,
+    check_transformable,
+)
+
+__all__ = [
+    "DimAtom",
+    "Layout",
+    "strip_mine",
+    "permute",
+    "transpose",
+    "TransformedArray",
+    "derive_layout",
+    "LegalityError",
+    "check_transformable",
+]

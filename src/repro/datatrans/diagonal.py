@@ -1,0 +1,134 @@
+"""Diagonal (45-degree unimodular) layouts — the Section 4.1.2 extension.
+
+The paper generalizes its permutation primitive: "rotating a
+two-dimensional array by 45 degrees makes data along a diagonal
+contiguous, which may be useful if a loop accesses the diagonal in
+consecutive iterations.  There are two plausible ways of laying the
+data out in memory":
+
+* **boxed** — embed the rotated parallelogram in the smallest enclosing
+  rectilinear space (simpler address calculation, padded storage);
+* **packed** — place the diagonals consecutively, one after the other
+  (compact storage, table-driven addressing).
+
+The paper does not expect non-permutation unimodular transforms to
+matter in practice (and none of the benchmarks need one), but the
+framework supports them; this module implements both embeddings with
+the same mapping protocol as :class:`repro.datatrans.layout.Layout`.
+
+The rotation used is the unimodular map ``(i, j) -> (i + j, j)``:
+anti-diagonal ``d = i + j`` becomes the slow coordinate, and the
+position along the diagonal the fast one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DiagonalLayout:
+    """Layout of a 2-D array with anti-diagonals contiguous.
+
+    ``packed=False`` (boxed): diagonal ``d`` starts at address
+    ``d * min(d1, d2)`` — every diagonal gets a full-length slot.
+
+    ``packed=True``: diagonal ``d`` starts at the sum of the lengths of
+    diagonals ``0..d-1`` (no padding).
+    """
+
+    dims: Tuple[int, int]
+    packed: bool = False
+    _starts: Tuple[int, ...] = field(default=(), repr=False)
+
+    def __post_init__(self):
+        d1, d2 = self.dims
+        if d1 <= 0 or d2 <= 0:
+            raise ValueError("dims must be positive")
+        starts: List[int] = []
+        pos = 0
+        for d in range(d1 + d2 - 1):
+            starts.append(pos)
+            pos += self.diagonal_length(d) if self.packed else min(d1, d2)
+        object.__setattr__(self, "_starts", tuple(starts))
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def ndiagonals(self) -> int:
+        return self.dims[0] + self.dims[1] - 1
+
+    def diagonal_length(self, d: int) -> int:
+        """Number of elements on anti-diagonal ``d = i + j``."""
+        d1, d2 = self.dims
+        if not (0 <= d < d1 + d2 - 1):
+            raise IndexError(f"diagonal {d} out of range")
+        return min(d, d1 - 1, d2 - 1, d1 + d2 - 2 - d) + 1
+
+    @property
+    def size(self) -> int:
+        if self.packed:
+            return self.dims[0] * self.dims[1]
+        return self.ndiagonals * min(self.dims)
+
+    # -- mapping -----------------------------------------------------------
+
+    def diagonal_of(self, index: Sequence[int]) -> Tuple[int, int]:
+        """(diagonal id, position along the diagonal) of an element.
+
+        Position counts from the smallest feasible ``j`` on the
+        diagonal, so consecutive positions are consecutive elements of
+        the diagonal.
+        """
+        i, j = index
+        d1, d2 = self.dims
+        if not (0 <= i < d1 and 0 <= j < d2):
+            raise IndexError(f"index {tuple(index)} out of {self.dims}")
+        d = i + j
+        jmin = max(0, d - (d1 - 1))
+        return d, j - jmin
+
+    def linearize(self, index: Sequence[int]) -> int:
+        d, k = self.diagonal_of(index)
+        return self._starts[d] + k
+
+    def linearize_vec(self, index_cols: Sequence[np.ndarray]) -> np.ndarray:
+        i = np.asarray(index_cols[0])
+        j = np.asarray(index_cols[1])
+        d = i + j
+        jmin = np.maximum(0, d - (self.dims[0] - 1))
+        starts = np.asarray(self._starts)
+        return starts[d] + (j - jmin)
+
+    def unmap(self, addr: int) -> Tuple[int, int]:
+        """Original (i, j) of a linear address (packed layout is dense;
+        boxed layout raises on padding slots)."""
+        starts = self._starts
+        # Find the diagonal by binary search on starts.
+        import bisect
+
+        d = bisect.bisect_right(starts, addr) - 1
+        k = addr - starts[d]
+        if k >= self.diagonal_length(d):
+            raise IndexError(f"address {addr} is padding")
+        jmin = max(0, d - (self.dims[0] - 1))
+        j = jmin + k
+        return d - j, j
+
+    def is_bijective(self) -> bool:
+        seen = set()
+        for i in range(self.dims[0]):
+            for j in range(self.dims[1]):
+                a = self.linearize((i, j))
+                if a in seen:
+                    return False
+                seen.add(a)
+        return True
+
+
+def diagonal_layout(dims: Tuple[int, int], packed: bool = False) -> DiagonalLayout:
+    """Convenience constructor mirroring the paper's two embeddings."""
+    return DiagonalLayout(dims=tuple(dims), packed=packed)

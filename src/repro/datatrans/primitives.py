@@ -1,0 +1,94 @@
+"""The two data-transformation primitives (Section 4.1).
+
+``strip_mine`` and ``permute`` operate on :class:`Layout` values and
+compose freely; Section 4.1's observation is that every layout the
+compiler needs (blocked, cyclic, block-cyclic, and their combinations
+with transposition) is a product of these two.
+
+As the paper notes, strip-mining *on its own does not change the layout
+of data in memory* — the identity ``(i mod b) + b * (i div b) = i``
+keeps linear addresses fixed — so it must be combined with permutation
+to have an effect.  ``strip_mine`` therefore inserts the two new
+dimensions adjacently (inner first), preserving addresses, and
+``permute`` does the actual reordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.datatrans.layout import DimAtom, Layout
+
+
+def strip_mine(layout: Layout, atom_index: int, strip: int) -> Layout:
+    """Strip-mine the ``atom_index``-th dimension with strip size
+    ``strip``: the dimension of extent ``d`` becomes an inner dimension
+    of extent ``strip`` and an adjacent outer dimension of extent
+    ``ceil(d / strip)``.
+
+    Addresses are unchanged (strip-mining alone is a no-op on memory);
+    the resulting array may be padded: total extent ``strip * ceil(d /
+    strip) < d + strip`` (Section 4.3).
+    """
+    if strip <= 0:
+        raise ValueError("strip size must be positive")
+    atoms = list(layout.atoms)
+    a = atoms[atom_index]
+    if a.mod is not None and a.mod % strip != 0:
+        raise ValueError(
+            f"cannot strip-mine atom {a!r} by {strip}: strip must divide "
+            "the existing modulus"
+        )
+    outer_extent = -(-a.extent // strip)  # ceil
+    inner = DimAtom(src=a.src, extent=strip, div=a.div, mod=strip)
+    if a.mod is None:
+        outer = DimAtom(
+            src=a.src, extent=outer_extent, div=a.div * strip, mod=None
+        )
+    else:
+        outer = DimAtom(
+            src=a.src, extent=outer_extent, div=a.div * strip,
+            mod=a.mod // strip,
+        )
+    atoms[atom_index : atom_index + 1] = [inner, outer]
+    return Layout(orig_dims=layout.orig_dims, atoms=tuple(atoms))
+
+
+def permute(layout: Layout, order: Sequence[int]) -> Layout:
+    """Reorder dimensions: ``order[k]`` is the current position of the
+    atom that becomes the new k-th (fastest-varying) dimension."""
+    if sorted(order) != list(range(layout.rank)):
+        raise ValueError(f"{order!r} is not a permutation of the dimensions")
+    return Layout(
+        orig_dims=layout.orig_dims,
+        atoms=tuple(layout.atoms[p] for p in order),
+    )
+
+
+def transpose(layout: Layout) -> Layout:
+    """Reverse the dimension order (the 2-D case is the familiar array
+    transpose of Section 4.1.2)."""
+    return permute(layout, list(range(layout.rank))[::-1])
+
+
+def index_table(
+    layout: Layout,
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...], int]]:
+    """Reproduce the Figure 2/3 style tables: for every original element
+    (enumerated in original column-major order, dimension 0 fastest)
+    give (original index, new index, new linear address)."""
+    out: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = []
+    n = len(layout.orig_dims)
+    idx = [0] * n
+
+    def walk(pos: int):
+        if pos < 0:
+            t = tuple(idx)
+            out.append((t, layout.map_index(t), layout.linearize(t)))
+            return
+        for v in range(layout.orig_dims[pos]):
+            idx[pos] = v
+            walk(pos - 1)
+
+    walk(n - 1)
+    return out

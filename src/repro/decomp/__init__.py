@@ -1,0 +1,45 @@
+"""Computation and data decomposition (the paper's Section 3).
+
+The solver finds affine mappings of loop iterations (``C_j``) and array
+elements (``D_x``) onto a common virtual processor space satisfying the
+zero-communication condition of Equation 1,
+
+    for every reference F_jx :   D_x(F_jx(i)) = C_j(i),
+
+maximizing the rank of the linear parts (the degree of parallelism).
+The greedy driver applies the constraints nest-by-nest in decreasing
+execution-frequency order, relaxing (replication, owner-computes-only,
+pipelining) only where the strict condition would destroy all
+parallelism.  Folding functions then map the virtual processor space
+onto physical processors (BLOCK / CYCLIC / BLOCK-CYCLIC).
+"""
+
+from repro.decomp.model import (
+    CompDecomp,
+    DataDecomp,
+    Folding,
+    FoldKind,
+    Decomposition,
+)
+from repro.decomp.solver import GroupSolution, solve_group, StmtEntry
+from repro.decomp.greedy import decompose_program
+from repro.decomp.folding import choose_folding, fold_owner, grid_shape
+from repro.decomp.hpf import distribute_string, parse_distribute, apply_alignment
+
+__all__ = [
+    "CompDecomp",
+    "DataDecomp",
+    "Folding",
+    "FoldKind",
+    "Decomposition",
+    "GroupSolution",
+    "solve_group",
+    "StmtEntry",
+    "decompose_program",
+    "choose_folding",
+    "fold_owner",
+    "grid_shape",
+    "distribute_string",
+    "parse_distribute",
+    "apply_alignment",
+]

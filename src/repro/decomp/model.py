@@ -1,0 +1,182 @@
+"""Decomposition data model.
+
+Decompositions are two-step mappings (Section 3.1): an affine map onto a
+virtual processor space, then a folding function (BLOCK / CYCLIC /
+BLOCK-CYCLIC) from virtual onto physical processors.  The model is a
+superset of HPF's DISTRIBUTE/ALIGN directives; :mod:`repro.decomp.hpf`
+renders the common cases in HPF notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class FoldKind(Enum):
+    """Virtual-to-physical folding function for one processor dimension."""
+
+    BLOCK = "BLOCK"
+    CYCLIC = "CYCLIC"
+    BLOCK_CYCLIC = "BLOCK_CYCLIC"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Folding:
+    """Folding of one virtual processor dimension.
+
+    ``block`` is only meaningful for BLOCK_CYCLIC (the tile size b of
+    DISTRIBUTE(CYCLIC(b))).
+    """
+
+    kind: FoldKind
+    block: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind is FoldKind.BLOCK_CYCLIC and (
+            self.block is None or self.block <= 0
+        ):
+            raise ValueError("BLOCK_CYCLIC folding needs a positive block size")
+
+    def owner(self, v: int, extent: int, nproc: int) -> int:
+        """Physical processor owning virtual processor index ``v`` out of
+        ``extent`` virtual positions folded onto ``nproc`` processors."""
+        if nproc <= 0:
+            raise ValueError("nproc must be positive")
+        if self.kind is FoldKind.BLOCK:
+            b = -(-extent // nproc)  # ceil
+            return min(v // b, nproc - 1)
+        if self.kind is FoldKind.CYCLIC:
+            return v % nproc
+        b = self.block
+        return (v // b) % nproc
+
+    def __repr__(self) -> str:
+        if self.kind is FoldKind.BLOCK_CYCLIC:
+            return f"BLOCK_CYCLIC({self.block})"
+        return self.kind.value
+
+
+@dataclass
+class CompDecomp:
+    """Computation decomposition of one statement.
+
+    ``matrix`` is p-by-depth: virtual processor coordinates of iteration
+    ``i`` are ``matrix @ i + offset`` (p = processor-space rank; depth =
+    the statement's nesting depth).
+    """
+
+    nest: str
+    stmt: int
+    matrix: List[List[int]]
+    offset: List[int]
+
+    @property
+    def rank(self) -> int:
+        from repro.util.intlinalg import integer_rank
+
+        return integer_rank(self.matrix) if self.matrix else 0
+
+    def virtual_proc(self, iteration: Sequence[int]) -> Tuple[int, ...]:
+        """Virtual processor coordinates of a concrete iteration."""
+        from repro.util.intlinalg import mat_vec
+
+        if not self.matrix:
+            return ()
+        v = mat_vec(self.matrix, list(iteration))
+        return tuple(x + o for x, o in zip(v, self.offset))
+
+
+@dataclass
+class DataDecomp:
+    """Data decomposition of one array (or replication)."""
+
+    array: str
+    matrix: List[List[int]]  # p-by-arrayrank
+    offset: List[int]
+    replicated: bool = False
+
+    @property
+    def rank(self) -> int:
+        from repro.util.intlinalg import integer_rank
+
+        return integer_rank(self.matrix) if self.matrix else 0
+
+    def virtual_proc(self, index: Sequence[int]) -> Tuple[int, ...]:
+        from repro.util.intlinalg import mat_vec
+
+        if not self.matrix:
+            return ()
+        v = mat_vec(self.matrix, list(index))
+        return tuple(x + o for x, o in zip(v, self.offset))
+
+    def distributed_dims(self) -> List[Tuple[int, int]]:
+        """For single-array-dim-per-processor-dim decompositions, the
+        (processor_dim, array_dim) pairs.  Raises when a row is not a
+        (possibly negated) unit vector, which the paper's data-transform
+        restriction excludes (Section 4.2)."""
+        out = []
+        for p, row in enumerate(self.matrix):
+            nz = [j for j, c in enumerate(row) if c != 0]
+            if not nz:
+                continue  # this processor dim does not constrain the array
+            if len(nz) != 1 or abs(row[nz[0]]) != 1:
+                raise ValueError(
+                    f"{self.array}: general affine decomposition row {row} "
+                    "is not supported by the data-transform restriction"
+                )
+            out.append((p, nz[0]))
+        return out
+
+
+@dataclass
+class Decomposition:
+    """Full program decomposition: one virtual processor space shared by
+    every statement and array, with per-dimension foldings."""
+
+    rank: int  # dimensionality of the virtual processor space
+    comp: Dict[Tuple[str, int], CompDecomp] = field(default_factory=dict)
+    data: Dict[str, DataDecomp] = field(default_factory=dict)
+    foldings: List[Folding] = field(default_factory=list)
+    pipelined_nests: List[str] = field(default_factory=list)
+    excluded_nests: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def comp_for(self, nest: str, stmt: int) -> Optional[CompDecomp]:
+        return self.comp.get((nest, stmt))
+
+    def data_for(self, array: str) -> Optional[DataDecomp]:
+        return self.data.get(array)
+
+    def is_pipelined(self, nest: str) -> bool:
+        return nest in self.pipelined_nests
+
+    def summary(self) -> str:
+        """Human-readable summary (HPF-style), used in reports."""
+        from repro.decomp.hpf import distribute_string
+
+        lines = [f"virtual processor rank: {self.rank}"]
+        lines.append(
+            "foldings: " + ", ".join(repr(f) for f in self.foldings)
+        )
+        for name in sorted(self.data):
+            d = self.data[name]
+            if d.replicated:
+                lines.append(f"  {name}: REPLICATED")
+            else:
+                try:
+                    lines.append(f"  {name}: {distribute_string(d, self.foldings)}")
+                except ValueError:
+                    lines.append(f"  {name}: affine {d.matrix}")
+        if self.pipelined_nests:
+            lines.append("pipelined nests: " + ", ".join(self.pipelined_nests))
+        if self.excluded_nests:
+            lines.append(
+                "nests with separate decomposition: "
+                + ", ".join(self.excluded_nests)
+            )
+        return "\n".join(lines)

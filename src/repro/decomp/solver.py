@@ -1,0 +1,440 @@
+"""Equation-1 constraint solver.
+
+Finds the maximal-rank affine decompositions satisfying
+
+    D_x @ F  =  C_s        (for references F of statement s to array x)
+    C_s @ d  =  0          (for dependence directions d carried in s's nest)
+
+over a *group* of statements and arrays.  The unknowns — one candidate
+row of every ``D_x`` and every ``C_s`` simultaneously — are stacked into
+a single vector; each valid joint row is then an integer nullspace
+element of the stacked constraint matrix.  Selecting up to ``max_dims``
+of these rows (greedily, by weighted parallelism gain, then read
+locality, then a column-major-friendly dimension preference) yields the
+virtual processor space.
+
+Offsets are ignored when solving, as the paper does for HPF alignment
+offsets: a constant offset mismatch means nearest-neighbour boundary
+communication, not a different decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.util.intlinalg import (
+    integer_nullspace,
+    integer_rank,
+    rowspace_basis,
+)
+
+Matrix = List[List[int]]
+
+
+@dataclass
+class RefConstraint:
+    """One affine reference: array name + its F matrix (rank x depth)
+    and constant offset vector (parameters already substituted)."""
+
+    array: str
+    matrix: Matrix
+    is_write: bool
+    offset: List[int] = field(default_factory=list)
+
+
+@dataclass
+class StmtEntry:
+    """Solver view of one statement.
+
+    ``use_reads`` / ``use_parallel`` implement the greedy algorithm's
+    relaxation levels: dropping read-reference constraints means the
+    reads may be remote (owner-computes only); dropping the parallelism
+    (obstruction) constraints means dependent iterations may land on
+    different processors — i.e. the nest executes as a pipeline.
+    """
+
+    nest: str
+    stmt: int
+    depth: int
+    refs: List[RefConstraint]
+    obstructions: List[List[int]] = field(default_factory=list)
+    weight: int = 1
+    use_reads: bool = True
+    use_parallel: bool = True
+
+
+@dataclass
+class GroupSolution:
+    """Selected joint rows, unpacked into per-statement C and per-array D."""
+
+    rows: Matrix  # selected joint rows (each a full unknown vector)
+    comp_matrices: Dict[Tuple[str, int], Matrix]
+    data_matrices: Dict[str, Matrix]
+    entry_ranks: Dict[Tuple[str, int], int]
+    replicated: Set[str]
+    rank_value: int = 0
+
+    @property
+    def rank(self) -> int:
+        return self.rank_value
+
+    def min_entry_rank(self) -> int:
+        return min(self.entry_ranks.values()) if self.entry_ranks else 0
+
+
+class _Layout:
+    """Position bookkeeping for the stacked unknown vector."""
+
+    def __init__(
+        self,
+        entries: Sequence[StmtEntry],
+        array_ranks: Dict[str, int],
+        replicated: Set[str],
+    ) -> None:
+        self.array_names = sorted(
+            {r.array for e in entries for r in e.refs}
+            - set(replicated)
+        )
+        self.array_ranks = array_ranks
+        self.entries = list(entries)
+        self.offsets: Dict[str, int] = {}
+        pos = 0
+        for a in self.array_names:
+            self.offsets[a] = pos
+            pos += array_ranks[a]
+        self.entry_offsets: Dict[Tuple[str, int], int] = {}
+        for e in self.entries:
+            self.entry_offsets[(e.nest, e.stmt)] = pos
+            pos += e.depth
+        self.total = pos
+
+    def d_slice(self, array: str) -> Tuple[int, int]:
+        o = self.offsets[array]
+        return o, o + self.array_ranks[array]
+
+    def c_slice(self, entry: StmtEntry) -> Tuple[int, int]:
+        o = self.entry_offsets[(entry.nest, entry.stmt)]
+        return o, o + entry.depth
+
+
+def _constraint_rows(
+    layout: _Layout, replicated: Set[str]
+) -> Matrix:
+    """Build the stacked constraint matrix whose nullspace is the space
+    of valid joint decomposition rows."""
+    rows: Matrix = []
+    n = layout.total
+    for e in layout.entries:
+        c_lo, c_hi = layout.c_slice(e)
+        for ref in e.refs:
+            if ref.array in replicated:
+                continue
+            if not ref.is_write and not e.use_reads:
+                continue
+            d_lo, d_hi = layout.d_slice(ref.array)
+            arank = d_hi - d_lo
+            # D_x @ F - C_s = 0, one equation per loop column.
+            for k in range(e.depth):
+                row = [0] * n
+                for r in range(arank):
+                    row[d_lo + r] = ref.matrix[r][k]
+                row[c_lo + k] -= 1
+                rows.append(row)
+        if e.use_parallel:
+            for d in e.obstructions:
+                row = [0] * n
+                for k in range(min(e.depth, len(d))):
+                    row[c_lo + k] = d[k]
+                rows.append(row)
+    return rows
+
+
+def _ref_local_under(
+    layout: _Layout, e: StmtEntry, ref: RefConstraint,
+    rows: Sequence[Sequence[int]],
+) -> bool:
+    """True when D_x F == C_s holds for this reference under every
+    selected joint row (replicated arrays are always local)."""
+    if ref.array not in layout.offsets:
+        return True
+    c_lo, c_hi = layout.c_slice(e)
+    d_lo, d_hi = layout.d_slice(ref.array)
+    for row in rows:
+        c = list(row[c_lo:c_hi])
+        d = list(row[d_lo:d_hi])
+        df = [
+            sum(d[r] * ref.matrix[r][k] for r in range(len(d)))
+            for k in range(e.depth)
+        ]
+        if df != c:
+            return False
+    return True
+
+
+def _locality_score(
+    layout: _Layout, rows: Sequence[Sequence[int]]
+) -> int:
+    """Weighted count of read references local under all given rows."""
+    score = 0
+    for e in layout.entries:
+        for ref in e.refs:
+            if ref.is_write:
+                continue
+            if _ref_local_under(layout, e, ref, rows):
+                score += e.weight
+    return score
+
+
+def _has_boundary_comm(
+    layout: _Layout, rows: Sequence[Sequence[int]]
+) -> bool:
+    """True when some reference is local in its linear part but carries a
+    nonzero offset through D — i.e. a nearest-neighbour boundary
+    exchange exists.  Extra processor dimensions pay off exactly then
+    (surface-to-volume); with zero communication a 1-D distribution is
+    as good and keeps layouts simpler (the paper's Erlebacher case)."""
+    for e in layout.entries:
+        for ref in e.refs:
+            if ref.array not in layout.offsets or not ref.offset:
+                continue
+            d_lo, d_hi = layout.d_slice(ref.array)
+            c_lo, c_hi = layout.c_slice(e)
+            for row in rows:
+                d = list(row[d_lo:d_hi])
+                c = list(row[c_lo:c_hi])
+                df = [
+                    sum(d[r] * ref.matrix[r][k] for r in range(len(d)))
+                    for k in range(e.depth)
+                ]
+                if df == c and sum(
+                    dv * ov for dv, ov in zip(d, ref.offset)
+                ) != 0:
+                    return True
+    return False
+
+
+def _unit_data_rows(layout: _Layout, row: Sequence[int]) -> bool:
+    """The Section 4.2 implementation restriction: each processor
+    dimension may map at most ONE dimension of each array, with unit
+    coefficient — general affine data decompositions (e.g. diagonals)
+    are excluded because their transformed address functions would be
+    too complex."""
+    for a in layout.array_names:
+        d_lo, d_hi = layout.d_slice(a)
+        nz = [c for c in row[d_lo:d_hi] if c != 0]
+        if len(nz) > 1 or (nz and abs(nz[0]) != 1):
+            return False
+    return True
+
+
+def _dim_preference(layout: _Layout, row: Sequence[int]) -> int:
+    """Prefer distributing later (slower-varying, column-major) array
+    dimensions: their partitions start out closer to contiguous."""
+    score = 0
+    for a in layout.array_names:
+        d_lo, d_hi = layout.d_slice(a)
+        for j in range(d_lo, d_hi):
+            if row[j] != 0:
+                score += j - d_lo
+    return score
+
+
+def achievable_entry_ranks(
+    entries: Sequence[StmtEntry],
+    array_ranks: Dict[str, int],
+    replicated: Optional[Set[str]] = None,
+) -> Dict[Tuple[str, int], int]:
+    """For each statement, the maximum achievable rank of its C over the
+    joint solution space (before row selection), counting only solutions
+    that respect the single-dimension data-transform restriction."""
+    replicated = set(replicated or ())
+    layout = _Layout(entries, array_ranks, replicated)
+    basis = integer_nullspace(_constraint_rows(layout, replicated))
+    basis = rowspace_basis(basis) if basis else []
+    basis = [row for row in basis if _unit_data_rows(layout, row)]
+    out: Dict[Tuple[str, int], int] = {}
+    for e in entries:
+        c_lo, c_hi = layout.c_slice(e)
+        c_rows = [list(b[c_lo:c_hi]) for b in basis]
+        out[(e.nest, e.stmt)] = integer_rank(c_rows) if c_rows else 0
+    return out
+
+
+def _connected_components(
+    entries: Sequence[StmtEntry], replicated: Set[str]
+) -> List[List[StmtEntry]]:
+    """Partition the statements into components connected through shared
+    (non-replicated) arrays.  Independent components impose no mutual
+    constraints, so each can be aligned onto the virtual processor space
+    separately and their rows summed into joint dimensions — this is how
+    e.g. Erlebacher's three sweeps share one 1-D processor space while
+    distributing different array dimensions."""
+    parent = list(range(len(entries)))
+
+    def find(a):
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    by_array: Dict[str, int] = {}
+    for idx, e in enumerate(entries):
+        for ref in e.refs:
+            if ref.array in replicated:
+                continue
+            if ref.array in by_array:
+                union(idx, by_array[ref.array])
+            else:
+                by_array[ref.array] = idx
+    groups: Dict[int, List[StmtEntry]] = {}
+    for idx, e in enumerate(entries):
+        groups.setdefault(find(idx), []).append(e)
+    return list(groups.values())
+
+
+def solve_group(
+    entries: Sequence[StmtEntry],
+    array_ranks: Dict[str, int],
+    replicated: Optional[Set[str]] = None,
+    max_dims: int = 2,
+) -> GroupSolution:
+    """Solve the group and select up to ``max_dims`` joint rows.
+
+    Statements connected through shared arrays are solved together;
+    independent components are solved separately and their selected rows
+    are merged dimension-by-dimension into the shared virtual space.
+    """
+    replicated = set(replicated or ())
+    components = _connected_components(entries, replicated)
+    if len(components) > 1:
+        partials = [
+            _solve_connected(comp, array_ranks, replicated, max_dims)
+            for comp in components
+        ]
+        rank = max((p.rank for p in partials), default=0)
+        comp_matrices: Dict[Tuple[str, int], Matrix] = {}
+        data_matrices: Dict[str, Matrix] = {}
+        entry_ranks: Dict[Tuple[str, int], int] = {}
+        for p in partials:
+            for key, mat in p.comp_matrices.items():
+                depth = len(mat[0]) if mat else next(
+                    e.depth for e in entries if (e.nest, e.stmt) == key
+                )
+                padded = [list(r) for r in mat] + [
+                    [0] * depth for _ in range(rank - len(mat))
+                ]
+                comp_matrices[key] = padded
+            for a, mat in p.data_matrices.items():
+                arank = array_ranks[a]
+                padded = [list(r) for r in mat] + [
+                    [0] * arank for _ in range(rank - len(mat))
+                ]
+                data_matrices[a] = padded
+            entry_ranks.update(p.entry_ranks)
+        return GroupSolution(
+            rows=[],  # joint raw rows are not meaningful across components
+            comp_matrices=comp_matrices,
+            data_matrices=data_matrices,
+            entry_ranks=entry_ranks,
+            replicated=set(replicated),
+            rank_value=rank,
+        )
+    return _solve_connected(entries, array_ranks, replicated, max_dims)
+
+
+def _solve_connected(
+    entries: Sequence[StmtEntry],
+    array_ranks: Dict[str, int],
+    replicated: Set[str],
+    max_dims: int = 2,
+) -> GroupSolution:
+    """Solve one connected component."""
+    layout = _Layout(entries, array_ranks, replicated)
+    constraint = _constraint_rows(layout, replicated)
+    basis = integer_nullspace(constraint)
+    # Canonicalize: echelonized basis rows give unit-vector D parts in
+    # the common cases, which the data-transform restriction requires;
+    # rows that still violate the restriction are excluded outright.
+    basis = rowspace_basis(basis) if basis else []
+    basis = [row for row in basis if _unit_data_rows(layout, row)]
+
+    selected: Matrix = []
+    sel_c: Dict[Tuple[str, int], Matrix] = {
+        (e.nest, e.stmt): [] for e in entries
+    }
+
+    def gain_of(row) -> int:
+        g = 0
+        for e in entries:
+            c_lo, c_hi = layout.c_slice(e)
+            cur = sel_c[(e.nest, e.stmt)]
+            new_row = list(row[c_lo:c_hi])
+            if integer_rank(cur + [new_row]) > integer_rank(cur):
+                g += e.weight
+        return g
+
+    while len(selected) < max_dims:
+        base_locality = _locality_score(layout, selected)
+        min_rank = (
+            min(integer_rank(v) if v else 0 for v in sel_c.values())
+            if sel_c
+            else 0
+        )
+        # Beyond the first dimension, only boundary communication
+        # justifies a finer partition (communication-to-computation
+        # ratio); a communication-free component stays 1-D.
+        if (
+            selected
+            and min_rank >= 1
+            and not _has_boundary_comm(layout, selected)
+        ):
+            break
+        best = None
+        best_key = None
+        for row in basis:
+            if integer_rank(selected + [list(row)]) <= len(selected):
+                continue  # dependent joint row
+            g = gain_of(row)
+            if g <= 0:
+                continue
+            locality = _locality_score(layout, selected + [list(row)])
+            # Extra processor dimensions are only worth taking when they
+            # cost no read locality: a dimension that turns local reads
+            # into remote ones adds the very communication the first
+            # phase exists to avoid.  (When there is no parallelism yet,
+            # parallelism always wins over locality.)
+            if min_rank >= 1 and locality < base_locality:
+                continue
+            key = (g, locality, _dim_preference(layout, row))
+            if best_key is None or key > best_key:
+                best, best_key = list(row), key
+        if best is None:
+            break
+        selected.append(best)
+        for e in entries:
+            c_lo, c_hi = layout.c_slice(e)
+            sel_c[(e.nest, e.stmt)].append(list(best[c_lo:c_hi]))
+
+    data_matrices: Dict[str, Matrix] = {}
+    for a in layout.array_names:
+        d_lo, d_hi = layout.d_slice(a)
+        data_matrices[a] = [list(r[d_lo:d_hi]) for r in selected]
+    for a in replicated:
+        if a in array_ranks:
+            data_matrices[a] = [[0] * array_ranks[a] for _ in selected]
+    comp_matrices = {k: v for k, v in sel_c.items()}
+    entry_ranks = {k: integer_rank(v) if v else 0 for k, v in sel_c.items()}
+    return GroupSolution(
+        rows=selected,
+        comp_matrices=comp_matrices,
+        data_matrices=data_matrices,
+        entry_ranks=entry_ranks,
+        replicated=set(replicated),
+        rank_value=len(selected),
+    )

@@ -1,0 +1,30 @@
+"""Loop-nest intermediate representation.
+
+This package is the stand-in for the SUIF front end: benchmark programs
+are written directly as affine loop nests over affine array references.
+Everything downstream — dependence analysis, unimodular parallelization,
+computation/data decomposition, data-layout transformation and SPMD code
+generation — consumes this IR.
+"""
+
+from repro.ir.expr import AffineExpr, Var, Const, Param
+from repro.ir.arrays import ArrayDecl, ArrayRef, AccessFunction
+from repro.ir.loops import Loop, Statement, LoopNest
+from repro.ir.program import Program
+from repro.ir.builder import NestBuilder, ProgramBuilder
+
+__all__ = [
+    "AffineExpr",
+    "Var",
+    "Const",
+    "Param",
+    "ArrayDecl",
+    "ArrayRef",
+    "AccessFunction",
+    "Loop",
+    "Statement",
+    "LoopNest",
+    "Program",
+    "NestBuilder",
+    "ProgramBuilder",
+]

@@ -1,0 +1,83 @@
+"""Builder DSL for constructing IR programs concisely.
+
+The benchmark programs in :mod:`repro.apps` are written with this
+builder.  Example (the paper's Figure 1)::
+
+    pb = ProgramBuilder("figure1", params={"N": 64})
+    A = pb.array("A", (64, 64), element_size=4)
+    B = pb.array("B", (64, 64), element_size=4)
+    i, j = pb.vars("I", "J")
+    pb.nest("copy", [("J", 0, 63), ("I", 0, 63)],
+            [pb.assign(A(i, j), [B(i, j)], lambda b: b)])
+    prog = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.arrays import ArrayDecl, ArrayRef
+from repro.ir.expr import AffineExpr, Var
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.program import Program
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`."""
+
+    def __init__(self, name: str, params: Optional[Dict[str, int]] = None,
+                 time_steps: int = 1):
+        self._prog = Program(name=name, params=dict(params or {}),
+                             time_steps=time_steps)
+
+    # -- declarations -----------------------------------------------------
+
+    def array(self, name: str, dims: Sequence[int],
+              element_size: int = 8) -> ArrayDecl:
+        """Declare an array and return its declaration (callable to make
+        references)."""
+        if name in self._prog.arrays:
+            raise ValueError(f"array {name} already declared")
+        decl = ArrayDecl(name, tuple(int(d) for d in dims), element_size)
+        self._prog.arrays[name] = decl
+        return decl
+
+    @staticmethod
+    def vars(*names: str) -> Tuple[AffineExpr, ...]:
+        """Convenience: several index variables at once."""
+        return tuple(Var(n) for n in names)
+
+    # -- statements ---------------------------------------------------------
+
+    @staticmethod
+    def assign(write: ArrayRef, reads: Iterable[ArrayRef],
+               compute: Optional[Callable[..., float]] = None,
+               label: str = "") -> Statement:
+        return Statement(write=write, reads=tuple(reads), compute=compute,
+                         label=label)
+
+    # -- nests ---------------------------------------------------------------
+
+    def nest(self, name: str, loops: Sequence[Tuple], body: List[Statement],
+             frequency: int = 1) -> LoopNest:
+        """Add a loop nest.  Each loop is a (var, lower, upper) triple with
+        bounds that may be ints or affine expressions in outer vars."""
+        nest = LoopNest(
+            name=name,
+            loops=[Loop.make(v, lo, hi) for (v, lo, hi) in loops],
+            body=list(body),
+            frequency=frequency,
+        )
+        self._prog.nests.append(nest)
+        return nest
+
+    # -- finish ---------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Program:
+        if validate:
+            self._prog.validate()
+        return self._prog
+
+
+# Backwards-compatible alias used in a few tests/examples.
+NestBuilder = ProgramBuilder

@@ -1,0 +1,172 @@
+"""Affine integer expressions.
+
+An :class:`AffineExpr` is an integer linear combination of named
+variables plus a constant:  ``3*i - j + 2*N + 5``.  Variables come in
+two flavours that behave identically algebraically but are kept
+distinguishable for the analyses:
+
+* loop index variables (``Var``) — the unknowns of dependence tests and
+  the domain of computation decompositions;
+* symbolic parameters (``Param``) — problem sizes such as ``N`` that are
+  constant during any one execution.
+
+Expressions are immutable and hashable.  Arithmetic (`+`, `-`, unary
+`-`, `*` by int) builds new expressions; ``subs`` substitutes
+expressions for variables; ``eval`` produces an int given a complete
+environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+IntLike = Union[int, "AffineExpr"]
+
+
+class AffineExpr:
+    """Immutable affine expression: sum of coeff*var plus constant."""
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+        items = tuple(
+            sorted((v, int(c)) for v, c in (coeffs or {}).items() if c != 0)
+        )
+        object.__setattr__(self, "coeffs", items)
+        object.__setattr__(self, "const", int(const))
+        object.__setattr__(self, "_hash", hash((items, int(const))))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("AffineExpr is immutable")
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def coerce(x: IntLike) -> "AffineExpr":
+        """Turn an int (or pass through an expression) into an AffineExpr."""
+        if isinstance(x, AffineExpr):
+            return x
+        return AffineExpr({}, int(x))
+
+    # -- inspection --------------------------------------------------------
+
+    def coeff(self, var: str) -> int:
+        """Coefficient of ``var`` (0 if absent)."""
+        for v, c in self.coeffs:
+            if v == var:
+                return c
+        return 0
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """Names of variables with nonzero coefficient, sorted."""
+        return tuple(v for v, _ in self.coeffs)
+
+    def is_constant(self) -> bool:
+        """True when no variable appears."""
+        return not self.coeffs
+
+    def constant_value(self) -> int:
+        """The value of a constant expression (raises otherwise)."""
+        if self.coeffs:
+            raise ValueError(f"{self} is not constant")
+        return self.const
+
+    def depends_on(self, names: Iterable[str]) -> bool:
+        """True if any of ``names`` appears with nonzero coefficient."""
+        names = set(names)
+        return any(v in names for v, _ in self.coeffs)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Coefficients as a fresh dict."""
+        return dict(self.coeffs)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: IntLike) -> "AffineExpr":
+        other = AffineExpr.coerce(other)
+        d = self.as_dict()
+        for v, c in other.coeffs:
+            d[v] = d.get(v, 0) + c
+        return AffineExpr(d, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({v: -c for v, c in self.coeffs}, -self.const)
+
+    def __sub__(self, other: IntLike) -> "AffineExpr":
+        return self + (-AffineExpr.coerce(other))
+
+    def __rsub__(self, other: IntLike) -> "AffineExpr":
+        return AffineExpr.coerce(other) - self
+
+    def __mul__(self, k: int) -> "AffineExpr":
+        if isinstance(k, AffineExpr):
+            if k.is_constant():
+                k = k.const
+            else:
+                raise TypeError("affine expressions support scaling by ints only")
+        return AffineExpr({v: c * k for v, c in self.coeffs}, self.const * k)
+
+    __rmul__ = __mul__
+
+    # -- substitution / evaluation -------------------------------------------
+
+    def subs(self, env: Mapping[str, IntLike]) -> "AffineExpr":
+        """Substitute expressions (or ints) for variables."""
+        out = AffineExpr({}, self.const)
+        for v, c in self.coeffs:
+            if v in env:
+                out = out + AffineExpr.coerce(env[v]) * c
+            else:
+                out = out + AffineExpr({v: c})
+        return out
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        """Evaluate to an int; every variable must be bound in ``env``."""
+        total = self.const
+        for v, c in self.coeffs:
+            total += c * env[v]
+        return total
+
+    # -- comparison / display ---------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            other = AffineExpr.coerce(other)
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for v, c in self.coeffs:
+            if c == 1:
+                parts.append(v)
+            elif c == -1:
+                parts.append(f"-{v}")
+            else:
+                parts.append(f"{c}*{v}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        s = " + ".join(parts)
+        return s.replace("+ -", "- ")
+
+
+def Var(name: str) -> AffineExpr:
+    """An affine expression consisting of a single loop index variable."""
+    return AffineExpr({name: 1})
+
+
+def Param(name: str) -> AffineExpr:
+    """A symbolic problem-size parameter (algebraically a variable)."""
+    return AffineExpr({name: 1})
+
+
+def Const(value: int) -> AffineExpr:
+    """A constant affine expression."""
+    return AffineExpr({}, value)

@@ -1,0 +1,39 @@
+"""Trace-driven multiprocessor memory-system model (the DASH substitute).
+
+The paper's measurements come from running compiler-generated SPMD C
+code on the 32-processor Stanford DASH machine (64KB direct-mapped
+first-level caches, 16-byte lines, 4-processor clusters, page-level
+first-touch memory homing, access-time ratios 1:10:30:100).  Everything
+those measurements depend on — spatial locality, false sharing, conflict
+misses, NUMA locality, synchronization cost — is a function of the
+per-processor address streams and the machine geometry, so this package
+replays exactly that:
+
+* :mod:`trace` turns an SPMD plan into per-processor address streams
+  (fully vectorized over NumPy);
+* :mod:`cache` simulates the private direct-mapped caches per set;
+* :mod:`coherence` overlays invalidation-based coherence, classifying
+  cold / replacement (conflict+capacity) / true-sharing / false-sharing
+  misses — an exact event-order simulator for tests and a vectorized
+  global-order simulator for the benchmark sweeps;
+* :mod:`numa` homes pages by first touch and splits misses into local
+  and remote;
+* :mod:`cost` turns counts into cycles, adds synchronization and
+  pipeline models, and computes speedups;
+* :mod:`dash` provides the (scaled) DASH machine configurations;
+* :mod:`simulate` drives a whole program through the model.
+"""
+
+from repro.machine.cache import CacheConfig
+from repro.machine.dash import DashConfig, dash_machine, scaled_dash
+from repro.machine.simulate import SimResult, simulate, speedup_curve
+
+__all__ = [
+    "CacheConfig",
+    "DashConfig",
+    "dash_machine",
+    "scaled_dash",
+    "SimResult",
+    "simulate",
+    "speedup_curve",
+]

@@ -1,0 +1,270 @@
+"""Invalidation-based cache coherence.
+
+Two implementations of the same protocol (write-invalidate MSI over
+private direct-mapped caches, lockstep global interleaving):
+
+* :func:`classify_accesses` — fully vectorized over the merged global
+  stream; used by every benchmark sweep;
+* :class:`ExactCoherentSim` — a straightforward event-at-a-time Python
+  simulator kept as an executable specification; the test suite checks
+  the two agree access-for-access on random traces.
+
+Miss taxonomy (Section 1.1):
+
+* **cold** — processor touches a line for the first time;
+* **replacement** — conflict/capacity: the line was displaced from the
+  direct-mapped set by another line;
+* **true sharing** — the line was invalidated by another processor's
+  write *to a word this processor uses*;
+* **false sharing** — the line was invalidated by another processor's
+  write to a *different* word of the same line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.machine.cache import (
+    CacheConfig,
+    assoc_lru_hits,
+    direct_mapped_hits,
+    segmented_prev_position,
+)
+
+
+def _last_write_before(group: np.ndarray, write: np.ndarray) -> np.ndarray:
+    """For each access i (stream order), the largest stream position
+    j < i with ``group[j] == group[i]`` and ``write[j]`` (or -1)."""
+    n = len(group)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    pos = np.arange(n, dtype=np.int64)
+    order = np.lexsort((pos, group))
+    g = group[order]
+    w = np.where(write[order], pos[order], np.int64(-1))
+    # Segmented running max via per-group bias.
+    gid = np.cumsum(np.concatenate(([0], (g[1:] != g[:-1]).astype(np.int64))))
+    large = np.int64(n + 2)
+    acc = np.maximum.accumulate(w + gid * large)
+    prev = np.full(n, -1, dtype=np.int64)
+    same = np.zeros(n, dtype=bool)
+    same[1:] = g[1:] == g[:-1]
+    prev[1:][same[1:]] = acc[:-1][same[1:]] - gid[1:][same[1:]] * large
+    out = np.full(n, -1, dtype=np.int64)
+    out[order] = np.maximum(prev, -1)
+    return out
+
+
+@dataclass
+class AccessClassification:
+    """Per-access outcome flags (all in stream order).
+
+    ``upgrade`` marks write hits that must still acquire exclusive
+    ownership because another processor touched the line since this
+    processor's previous access — the writer-side cost of sharing
+    ping-pong (the reader side shows up as sharing misses).
+    """
+
+    hit: np.ndarray
+    cold: np.ndarray
+    replacement: np.ndarray
+    true_sharing: np.ndarray
+    false_sharing: np.ndarray
+    upgrade: np.ndarray = None
+    l2_hit: np.ndarray = None
+    """True where a first-level miss is satisfied by the (optional)
+    private second-level cache; always False when no L2 is modelled."""
+
+    def __post_init__(self):
+        if self.upgrade is None:
+            self.upgrade = np.zeros(len(self.hit), dtype=bool)
+        if self.l2_hit is None:
+            self.l2_hit = np.zeros(len(self.hit), dtype=bool)
+
+    @property
+    def miss(self) -> np.ndarray:
+        return ~self.hit
+
+
+def classify_accesses(
+    proc: np.ndarray,
+    addr: np.ndarray,
+    write: np.ndarray,
+    cfg: CacheConfig,
+    word_bytes: int = 8,
+    l2: "CacheConfig | None" = None,
+) -> AccessClassification:
+    """Classify every access of a merged, globally-ordered stream.
+
+    When ``l2`` is given, a private second-level cache (inclusive,
+    updated on every reference) filters first-level misses: an L1 miss
+    whose line survives in L2 — and was not invalidated by another
+    processor's write — is an ``l2_hit``.
+    """
+    n = len(addr)
+    if n == 0:
+        z = np.zeros(0, dtype=bool)
+        return AccessClassification(z, z, z, z, z)
+    line = addr // cfg.line_bytes
+    word = addr // word_bytes
+    nline = int(line.max()) + 1
+    nword = int(word.max()) + 1
+    pos = np.arange(n, dtype=np.int64)
+
+    # Direct-mapped is the DASH default and fully vectorized; the LRU
+    # set-associative variant (model-sensitivity studies) is exact but
+    # event-at-a-time.
+    if cfg.assoc == 1:
+        tag_hit = direct_mapped_hits(proc, addr, cfg)
+    else:
+        tag_hit = assoc_lru_hits(proc, addr, cfg)
+    prev_line_pos = segmented_prev_position(proc * nline + line, pos)
+    lw_any_line = _last_write_before(line, write)
+    lw_same_line = _last_write_before(proc * nline + line, write)
+    lw_any_word = _last_write_before(word, write)
+    lw_same_word = _last_write_before(proc * nword + word, write)
+
+    # Invalidated: the line would have survived in the cache (tag match),
+    # but another processor wrote it after this processor's last touch.
+    # "Another processor" = the most recent write is not our own.
+    invalidated = (
+        tag_hit
+        & (lw_any_line > lw_same_line)
+        & (lw_any_line > prev_line_pos)
+    )
+    cold = prev_line_pos < 0
+    hit = tag_hit & ~invalidated
+    miss = ~hit
+    true_sharing = (
+        invalidated
+        & (lw_any_word > lw_same_word)
+        & (lw_any_word > prev_line_pos)
+    )
+    false_sharing = invalidated & ~true_sharing
+    replacement = miss & ~cold & ~invalidated
+    # Writer-side ownership acquisition: a write hit on a line someone
+    # else has touched since our previous access must invalidate their
+    # copy before proceeding.
+    la_any_line = _last_write_before(line, np.ones(n, dtype=bool))
+    upgrade = write & hit & (la_any_line > prev_line_pos)
+
+    l2_hit = np.zeros(n, dtype=bool)
+    if l2 is not None:
+        if l2.assoc == 1:
+            l2_tag = direct_mapped_hits(proc, addr, l2)
+        else:
+            l2_tag = assoc_lru_hits(proc, addr, l2)
+        # Same invalidation predicate, at the L2 tag state: a remote
+        # write invalidates both levels.
+        inv2 = (
+            l2_tag
+            & (lw_any_line > lw_same_line)
+            & (lw_any_line > prev_line_pos)
+        )
+        l2_hit = miss & l2_tag & ~inv2
+    return AccessClassification(
+        hit=hit,
+        cold=cold & miss,
+        replacement=replacement,
+        true_sharing=true_sharing,
+        false_sharing=false_sharing,
+        upgrade=upgrade,
+        l2_hit=l2_hit,
+    )
+
+
+class ExactCoherentSim:
+    """Event-at-a-time MSI reference simulator (executable spec).
+
+    Caches are direct-mapped; a write invalidates every other
+    processor's copy of the line.  Sharing misses are split true/false
+    by whether any invalidating write since this processor's last touch
+    hit the word now being accessed.
+    """
+
+    def __init__(self, nprocs: int, cfg: CacheConfig, word_bytes: int = 8):
+        self.nprocs = nprocs
+        self.cfg = cfg
+        self.word_bytes = word_bytes
+
+    def run(
+        self, proc: np.ndarray, addr: np.ndarray, write: np.ndarray
+    ) -> AccessClassification:
+        n = len(addr)
+        cfg = self.cfg
+        # cache[p][set] = line currently cached (or None); valid flag.
+        cache: Dict[Tuple[int, int], int] = {}
+        valid: Dict[Tuple[int, int], bool] = {}
+        touched: set = set()  # (proc, line) ever cached
+        # last write position per word / per line by each proc.
+        word_writes: Dict[int, list] = {}  # word -> list of (pos, proc)
+        line_writes: Dict[int, list] = {}
+        last_touch: Dict[Tuple[int, int], int] = {}
+
+        hit = np.zeros(n, dtype=bool)
+        cold = np.zeros(n, dtype=bool)
+        repl = np.zeros(n, dtype=bool)
+        tshare = np.zeros(n, dtype=bool)
+        fshare = np.zeros(n, dtype=bool)
+        upgrade = np.zeros(n, dtype=bool)
+        last_touch_any: Dict[int, int] = {}
+
+        for i in range(n):
+            p = int(proc[i])
+            a = int(addr[i])
+            ln = a // cfg.line_bytes
+            st = ln % cfg.nsets
+            wd = a // self.word_bytes
+            key = (p, st)
+            cached = cache.get(key)
+            is_valid = valid.get(key, False)
+            if cached == ln and is_valid:
+                hit[i] = True
+                if write[i] and last_touch_any.get(ln, -1) > last_touch.get(
+                    (p, ln), -1
+                ):
+                    upgrade[i] = True
+            else:
+                if (p, ln) not in touched:
+                    cold[i] = True
+                elif cached == ln and not is_valid:
+                    # Present but invalidated: sharing miss.  True iff an
+                    # invalidating write since our last touch was to this
+                    # word.
+                    since = last_touch.get((p, ln), -1)
+                    word_hits = any(
+                        q != p and pos > since
+                        for pos, q in word_writes.get(wd, ())
+                    )
+                    if word_hits:
+                        tshare[i] = True
+                    else:
+                        fshare[i] = True
+                else:
+                    repl[i] = True
+                cache[key] = ln
+                valid[key] = True
+            touched.add((p, ln))
+            last_touch[(p, ln)] = i
+            last_touch_any[ln] = i
+            if write[i]:
+                word_writes.setdefault(wd, []).append((i, p))
+                line_writes.setdefault(ln, []).append((i, p))
+                # Invalidate every other processor's copy.
+                for q in range(self.nprocs):
+                    if q == p:
+                        continue
+                    k2 = (q, st)
+                    if cache.get(k2) == ln and valid.get(k2, False):
+                        valid[k2] = False
+        return AccessClassification(
+            hit=hit,
+            cold=cold,
+            replacement=repl,
+            true_sharing=tshare,
+            false_sharing=fshare,
+            upgrade=upgrade,
+        )

@@ -1,0 +1,194 @@
+"""Whole-program simulation driver.
+
+Replays an SPMD program's address traces through the private-cache +
+coherence + NUMA models and assembles per-phase and total times.  The
+phase sequence of one time step is simulated twice back-to-back: the
+first round pays the cold misses, the second measures the steady state;
+a program with T time steps costs ``round0 + (T-1) * round1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen.spmd import Scheme, SpmdProgram, generate_spmd
+from repro.machine.coherence import classify_accesses
+from repro.machine.cost import CostParams, PhaseCost, per_proc_cycles, phase_time
+from repro.machine.dash import DashConfig
+from repro.machine.numa import local_miss_mask
+from repro.machine.trace import PhaseTrace, program_traces
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one (program, scheme, machine) triple."""
+
+    scheme: str
+    nprocs: int
+    total_time: float
+    round_times: Tuple[float, float]  # (cold round, steady round)
+    time_steps: int
+    phase_costs: List[PhaseCost]
+    miss_breakdown: Dict[str, int] = field(default_factory=dict)
+    n_accesses: int = 0
+
+    def summary(self) -> str:
+        mb = self.miss_breakdown
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(mb.items()))
+        return (
+            f"{self.scheme} P={self.nprocs}: time={self.total_time:.3e} "
+            f"({parts})"
+        )
+
+
+def simulate(spmd: SpmdProgram, machine: DashConfig) -> SimResult:
+    """Simulate one compiled program on one machine."""
+    prog = spmd.program
+    space, traces = program_traces(spmd, machine.numa.page_bytes)
+
+    # Two rounds of the phase sequence: cold then steady state.
+    rounds = 2 if prog.time_steps > 1 else 1
+    seq: List[Tuple[int, PhaseTrace, int]] = []  # (round, trace, phase idx)
+    for r in range(rounds):
+        for k, t in enumerate(traces):
+            seq.append((r, t, k))
+
+    if not seq or all(t.n_accesses == 0 for _, t, _ in seq):
+        return SimResult(
+            scheme=spmd.scheme.value,
+            nprocs=spmd.nprocs,
+            total_time=0.0,
+            round_times=(0.0, 0.0),
+            time_steps=prog.time_steps,
+            phase_costs=[],
+        )
+
+    proc = np.concatenate([t.proc for _, t, _ in seq])
+    addr = np.concatenate([t.addr for _, t, _ in seq])
+    write = np.concatenate([t.write for _, t, _ in seq])
+    slice_id = np.concatenate(
+        [
+            np.full(t.n_accesses, i, dtype=np.int64)
+            for i, (_, t, _) in enumerate(seq)
+        ]
+    )
+
+    cls = classify_accesses(
+        proc, addr, write, machine.cache, word_bytes=machine.word_bytes,
+        l2=machine.l2,
+    )
+    local = local_miss_mask(addr, proc, machine.numa)
+    miss = cls.miss & ~cls.l2_hit  # L2-served misses never reach memory
+    miss_local = miss & local
+    miss_remote = miss & ~local
+
+    params = machine.cost
+    nprocs = spmd.nprocs
+    phase_costs: List[PhaseCost] = []
+    round_time = [0.0, 0.0]
+    breakdown = {
+        "cold": int(cls.cold.sum()),
+        "replacement": int(cls.replacement.sum()),
+        "true_sharing": int(cls.true_sharing.sum()),
+        "false_sharing": int(cls.false_sharing.sum()),
+        "upgrade": int(cls.upgrade.sum()),
+        "l2_hits": int(cls.l2_hit.sum()),
+        "remote": int(miss_remote.sum()),
+        "local_miss": int(miss_local.sum()),
+    }
+
+    for i, (r, t, k) in enumerate(seq):
+        sl = slice_id == i
+        cycles = per_proc_cycles(
+            proc[sl], cls.hit[sl], miss_local[sl], miss_remote[sl],
+            nprocs, params, upgrade=cls.upgrade[sl], l2_hit=cls.l2_hit[sl],
+        )
+        pc = phase_time(
+            nest_name=t.nest_name,
+            cycles=cycles,
+            sync_kind=t.sync_after,
+            barriers=t.barriers,
+            pipelined=t.pipelined,
+            seq_steps=spmd.phases[k].seq_steps,
+            nprocs=nprocs,
+            params=params,
+        )
+        freq = max(1, spmd.phases[k].nest.frequency)
+        round_time[r] += pc.time * freq
+        if r == rounds - 1:
+            phase_costs.append(pc)
+
+    steps = max(1, prog.time_steps)
+    if rounds == 2:
+        total = round_time[0] + (steps - 1) * round_time[1]
+    else:
+        total = round_time[0] * steps
+        round_time[1] = round_time[0]
+    return SimResult(
+        scheme=spmd.scheme.value,
+        nprocs=nprocs,
+        total_time=total,
+        round_times=(round_time[0], round_time[1]),
+        time_steps=steps,
+        phase_costs=phase_costs,
+        miss_breakdown=breakdown,
+        n_accesses=int(len(addr)) // rounds,
+    )
+
+
+def simulate_scheme(
+    prog,
+    scheme: Scheme,
+    machine: DashConfig,
+    decomp=None,
+) -> SimResult:
+    """Compile (SPMD-plan) and simulate a program under one scheme."""
+    from repro.compiler import compile_program
+
+    spmd = compile_program(prog, scheme, machine.nprocs, decomp=decomp)
+    return simulate(spmd, machine)
+
+
+def speedup_curve(
+    prog,
+    schemes: Sequence[Scheme],
+    machine_factory,
+    procs: Sequence[int],
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Speedups over the best sequential version for each scheme.
+
+    ``machine_factory(nprocs)`` builds the machine; the sequential
+    baseline is the BASE scheme on one processor (every access local).
+
+    The decomposition is processor-count independent, so it is computed
+    once and reused for every point of the sweep.
+    """
+    from repro.compiler import compile_program, restructure_program
+    from repro.decomp.greedy import decompose_program
+
+    rprog = restructure_program(prog)
+    decomp = None
+    if any(s is not Scheme.BASE for s in schemes):
+        decomp = decompose_program(rprog, max(procs))
+
+    seq_machine = machine_factory(1)
+    seq_spmd = compile_program(prog, Scheme.BASE, 1)
+    seq = simulate(seq_spmd, seq_machine)
+    out: Dict[str, List[Tuple[int, float]]] = {}
+    for scheme in schemes:
+        series = []
+        for p in procs:
+            machine = machine_factory(p)
+            spmd = compile_program(
+                prog, scheme, p,
+                decomp=decomp if scheme is not Scheme.BASE else None,
+            )
+            res = simulate(spmd, machine)
+            series.append(
+                (p, seq.total_time / res.total_time if res.total_time else 0.0)
+            )
+        out[scheme.value] = series
+    return out

@@ -1,0 +1,118 @@
+"""Result formatting for the experiment harness.
+
+The benchmarks print speedup series in the same shape as the paper's
+figures (speedup vs. processor count per compiler configuration) and a
+Table-1-style summary; these helpers keep that formatting in one place
+and generate the EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[int, float]]
+
+
+def save_experiment(name: str, text: str) -> str:
+    """Persist a benchmark's formatted output under ``results/``.
+
+    pytest captures stdout, so the benchmark harness writes each
+    table/figure reproduction to a file as well; EXPERIMENTS.md points
+    at these.  Returns the path written.
+    """
+    import os
+
+    root = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(root, exist_ok=True)
+    path = os.path.join(root, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    return path
+
+
+def format_speedup_table(
+    curves: Mapping[str, Series], title: str = ""
+) -> str:
+    """Render speedup-vs-processors curves as a fixed-width table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    procs = [p for p, _ in next(iter(curves.values()))]
+    header = f"{'scheme':34s}" + "".join(f"{p:>8d}" for p in procs)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scheme, series in curves.items():
+        row = f"{scheme:34s}" + "".join(f"{s:8.2f}" for _, s in series)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def markdown_speedup_table(curves: Mapping[str, Series]) -> str:
+    """The same data as a Markdown table (for EXPERIMENTS.md)."""
+    procs = [p for p, _ in next(iter(curves.values()))]
+    out = ["| scheme | " + " | ".join(f"P={p}" for p in procs) + " |"]
+    out.append("|" + "---|" * (len(procs) + 1))
+    for scheme, series in curves.items():
+        out.append(
+            f"| {scheme} | "
+            + " | ".join(f"{s:.2f}" for _, s in series)
+            + " |"
+        )
+    return "\n".join(out)
+
+
+def at_procs(series: Series, p: int) -> Optional[float]:
+    """The speedup at processor count ``p`` (None if absent)."""
+    for q, s in series:
+        if q == p:
+            return s
+    return None
+
+
+@dataclass
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    program: str
+    base_speedup: float
+    optimized_speedup: float
+    comp_decomp_critical: bool
+    data_transform_critical: bool
+    data_decompositions: List[str] = field(default_factory=list)
+
+
+def classify_critical(
+    base: float, cd: float, cdd: float, threshold: float = 1.15
+) -> Tuple[bool, bool]:
+    """Infer the Table-1 'critical technique' checkmarks from measured
+    speedups.
+
+    Computation decomposition counts as critical when the globally
+    decomposed program (with whatever layout it needs) clearly beats
+    BASE — the data transformation only exists on top of the
+    decomposition, so a big combined win implies the decomposition
+    mattered.  Data transformation is critical when it clearly beats
+    the decomposition-only configuration.
+    """
+    comp_critical = cdd >= threshold * base or cd >= threshold * base
+    data_critical = cdd >= threshold * max(cd, 1e-12)
+    return comp_critical, data_critical
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Fixed-width rendering of the Table-1 reproduction."""
+    lines = [
+        f"{'Program':12s} {'Base':>7s} {'Optimized':>10s} "
+        f"{'CompDecomp':>11s} {'DataTrans':>10s}  Data decompositions"
+    ]
+    lines.append("-" * 90)
+    for r in rows:
+        lines.append(
+            f"{r.program:12s} {r.base_speedup:7.1f} "
+            f"{r.optimized_speedup:10.1f} "
+            f"{'yes' if r.comp_decomp_critical else '-':>11s} "
+            f"{'yes' if r.data_transform_critical else '-':>10s}  "
+            + "; ".join(r.data_decompositions)
+        )
+    return "\n".join(lines)

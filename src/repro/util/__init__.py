@@ -1,0 +1,29 @@
+"""Utility substrates: exact integer linear algebra and small helpers."""
+
+from repro.util.intlinalg import (
+    hermite_normal_form,
+    smith_normal_form,
+    integer_nullspace,
+    integer_left_nullspace,
+    integer_rank,
+    unimodular_completion,
+    solve_diophantine,
+    is_unimodular,
+    mat_mul,
+    mat_vec,
+    identity,
+)
+
+__all__ = [
+    "hermite_normal_form",
+    "smith_normal_form",
+    "integer_nullspace",
+    "integer_left_nullspace",
+    "integer_rank",
+    "unimodular_completion",
+    "solve_diophantine",
+    "is_unimodular",
+    "mat_mul",
+    "mat_vec",
+    "identity",
+]

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260707)
+
+
+@pytest.fixture
+def figure1_program():
+    """The paper's Figure 1 program at a small size."""
+    from repro.apps import simple
+
+    return simple.build(n=16, time_steps=2)
+
+
+@pytest.fixture
+def lu_program():
+    from repro.apps import lu
+
+    return lu.build(n=10)
+
+
+def make_two_nest_program(n=8):
+    """A tiny two-nest program for structural tests."""
+    pb = ProgramBuilder("tiny", params={"N": n})
+    a = pb.array("A", (n, n))
+    b = pb.array("B", (n, n))
+    i, j = pb.vars("I", "J")
+    pb.nest("first", [("J", 0, n - 1), ("I", 0, n - 1)],
+            [pb.assign(a(i, j), [b(i, j)], lambda x: x)])
+    pb.nest("second", [("J", 1, n - 1), ("I", 0, n - 1)],
+            [pb.assign(b(i, j), [a(i, j - 1)], lambda x: x)])
+    return pb.build()

@@ -1,0 +1,104 @@
+"""Tests for the address-expression IR."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.addrexpr import (
+    AAdd,
+    AAffine,
+    AConst,
+    ADiv,
+    AMod,
+    AScale,
+    AVar,
+    build_address_expr,
+    count_divmod,
+    divmod_nodes,
+)
+from repro.datatrans.transform import derive_layout
+from repro.decomp.hpf import parse_distribute
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import Var
+
+
+class TestNodes:
+    def test_const(self):
+        assert AConst(5).eval({}) == 5
+        assert AConst(5).to_c() == "5"
+
+    def test_var(self):
+        assert AVar("i").eval({"i": 7}) == 7
+
+    def test_affine(self):
+        e = AAffine(2 * Var("I") + 1)
+        assert e.eval({"I": 3}) == 7
+
+    def test_add_scale(self):
+        e = AAdd((AConst(1), AScale(4, AVar("i"))))
+        assert e.eval({"i": 2}) == 9
+        assert "4*" in e.to_c()
+
+    def test_div_mod_floor(self):
+        assert ADiv(AConst(7), 3).eval({}) == 2
+        assert AMod(AConst(7), 3).eval({}) == 1
+
+    def test_counts(self):
+        e = AAdd((ADiv(AMod(AVar("i"), 4), 2), AMod(AVar("j"), 8)))
+        assert count_divmod(e) == (1, 2)
+        assert len(divmod_nodes(e)) == 3
+
+
+class TestBuildAddressExpr:
+    def _check(self, dims, dist, grid):
+        decl = ArrayDecl("A", dims)
+        dd, folds = parse_distribute(dist, "A", len(dims))
+        ta = derive_layout(decl, dd, folds, grid)
+        exprs = tuple(Var(f"X{k}") for k in range(len(dims)))
+        addr = build_address_expr(ta.layout, exprs)
+        # compare against the layout for every element
+        import itertools
+
+        for idx in itertools.product(*(range(d) for d in dims)):
+            env = {f"X{k}": v for k, v in enumerate(idx)}
+            assert addr.eval(env) == ta.layout.linearize(idx)
+        return addr
+
+    def test_block(self):
+        addr = self._check((8, 4), "(BLOCK, *)", [2])
+        d, m = count_divmod(addr)
+        assert d >= 1 and m >= 1
+
+    def test_cyclic(self):
+        self._check((8, 4), "(CYCLIC, *)", [2])
+
+    def test_block_cyclic(self):
+        self._check((16, 2), "(CYCLIC(2), *)", [2])
+
+    def test_identity_has_no_divmod(self):
+        decl = ArrayDecl("A", (8, 4))
+        from repro.datatrans.transform import identity_transform
+
+        ta = identity_transform(decl)
+        addr = build_address_expr(ta.layout, (Var("I"), Var("J")))
+        assert count_divmod(addr) == (0, 0)
+
+    def test_to_c_renders(self):
+        decl = ArrayDecl("A", (8, 4))
+        dd, folds = parse_distribute("(BLOCK, *)", "A", 2)
+        ta = derive_layout(decl, dd, folds, [2])
+        addr = build_address_expr(ta.layout, (Var("I"), Var("J")))
+        c = addr.to_c()
+        assert "%" in c and "/" in c
+
+    @given(st.integers(0, 7), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_affine_subscripts(self, i, j):
+        decl = ArrayDecl("A", (10, 6))
+        dd, folds = parse_distribute("(CYCLIC, *)", "A", 2)
+        ta = derive_layout(decl, dd, folds, [2])
+        # subscripts A(I+1, J+2)
+        addr = build_address_expr(
+            ta.layout, (Var("I") + 1, Var("J") + 2)
+        )
+        env = {"I": i, "J": j}
+        assert addr.eval(env) == ta.layout.linearize((i + 1, j + 2))

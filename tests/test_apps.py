@@ -1,0 +1,69 @@
+"""Structural tests for the benchmark applications."""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.compiler import Scheme, compile_program
+
+SMALL = {
+    "simple": dict(n=12, time_steps=2),
+    "vpenta": dict(n=10, time_steps=2),
+    "lu": dict(n=8),
+    "stencil5": dict(n=10, time_steps=2),
+    "adi": dict(n=8, time_steps=2),
+    "erlebacher": dict(n=6, time_steps=2),
+    "swm": dict(n=10, time_steps=2),
+    "tomcatv": dict(n=10, time_steps=2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_APPS))
+class TestEveryApp:
+    def test_builds_and_validates(self, name):
+        prog = ALL_APPS[name].build(**SMALL[name])
+        prog.validate()
+        assert prog.nests
+        assert prog.arrays
+
+    def test_compiles_under_all_schemes(self, name):
+        prog = ALL_APPS[name].build(**SMALL[name])
+        for scheme in Scheme:
+            spmd = compile_program(prog, scheme, 4)
+            assert len(spmd.phases) == len(prog.nests)
+
+    def test_has_reference_model(self, name):
+        mod = ALL_APPS[name]
+        assert callable(mod.reference)
+
+    def test_paper_constants_recorded(self, name):
+        mod = ALL_APPS[name]
+        names = dir(mod)
+        assert any(n.startswith("PAPER_") for n in names)
+
+
+class TestAppSpecifics:
+    def test_lu_triangular(self):
+        prog = ALL_APPS["lu"].build(n=8)
+        nest = prog.nests[0]
+        # imperfect: two statements at different depths
+        depths = {st.depth for st in nest.body}
+        assert depths == {2, 3}
+
+    def test_vpenta_has_3d_array(self):
+        prog = ALL_APPS["vpenta"].build(n=10)
+        assert prog.arrays["F"].rank == 3
+
+    def test_erlebacher_input_read_only(self):
+        prog = ALL_APPS["erlebacher"].build(n=6)
+        written = {st.write.array.name for nest in prog.nests
+                   for st in nest.body}
+        assert "U" not in written
+
+    def test_adi_two_sweeps(self):
+        prog = ALL_APPS["adi"].build(n=8)
+        assert [n.name for n in prog.nests] == ["colsweep", "rowsweep"]
+
+    def test_element_sizes_match_paper(self):
+        assert ALL_APPS["stencil5"].build(10).arrays["A"].element_size == 4
+        assert ALL_APPS["swm"].build(10).arrays["P"].element_size == 4
+        assert ALL_APPS["lu"].build(8).arrays["A"].element_size == 8

@@ -1,0 +1,122 @@
+"""Tests for array declarations and affine references."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.arrays import AccessFunction, ArrayDecl, ArrayRef
+from repro.ir.expr import Const, Param, Var
+
+
+class TestArrayDecl:
+    def test_basic(self):
+        a = ArrayDecl("A", (4, 6), 8)
+        assert a.rank == 2
+        assert a.size == 24
+        assert a.nbytes == 192
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", ())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (4, 0))
+
+    def test_linearize_column_major(self):
+        a = ArrayDecl("A", (4, 6))
+        # column-major: first index fastest
+        assert a.linearize((0, 0)) == 0
+        assert a.linearize((1, 0)) == 1
+        assert a.linearize((0, 1)) == 4
+        assert a.linearize((3, 5)) == 23
+
+    def test_linearize_3d(self):
+        a = ArrayDecl("A", (2, 3, 4))
+        assert a.linearize((1, 2, 3)) == 1 + 2 * 2 + 3 * 6
+
+    def test_linearize_bounds(self):
+        a = ArrayDecl("A", (4, 4))
+        with pytest.raises(IndexError):
+            a.linearize((4, 0))
+        with pytest.raises(ValueError):
+            a.linearize((0,))
+
+    @given(st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)))
+    @settings(max_examples=50, deadline=None)
+    def test_linearize_bijective(self, dims):
+        a = ArrayDecl("A", dims)
+        seen = set()
+        for addr in range(a.size):
+            idx = a.delinearize(addr)
+            assert a.linearize(idx) == addr
+            assert idx not in seen
+            seen.add(idx)
+
+    def test_delinearize_out_of_range(self):
+        a = ArrayDecl("A", (2, 2))
+        with pytest.raises(IndexError):
+            a.delinearize(4)
+
+
+class TestArrayRef:
+    def setup_method(self):
+        self.a = ArrayDecl("A", (8, 8))
+        self.i = Var("I")
+        self.j = Var("J")
+
+    def test_call_sugar(self):
+        ref = self.a(self.i, self.j + 1)
+        assert isinstance(ref, ArrayRef)
+        assert ref.index_exprs[1] == self.j + 1
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            self.a(self.i)
+
+    def test_index_at(self):
+        ref = self.a(self.i + 1, 2 * self.j)
+        assert ref.index_at({"I": 2, "J": 3}) == (3, 6)
+
+    def test_address_at(self):
+        ref = self.a(self.i, self.j)
+        assert ref.address_at({"I": 3, "J": 2}) == 3 + 2 * 8
+
+
+class TestAccessFunction:
+    def test_matrix_and_offset(self):
+        a = ArrayDecl("A", (8, 8))
+        i, j = Var("I"), Var("J")
+        n = Param("N")
+        ref = a(2 * i + j + 1, j - n)
+        af = ref.access_function(("I", "J"))
+        assert af.matrix == ((2, 1), (0, 1))
+        assert af.offset[0] == Const(1)
+        assert af.offset[1] == -n
+
+    def test_rank(self):
+        a = ArrayDecl("A", (8, 8))
+        i, j = Var("I"), Var("J")
+        assert a(i, j).access_function(("I", "J")).rank == 2
+        assert a(i, i).access_function(("I", "J")).rank == 1
+
+    def test_constant_offset(self):
+        a = ArrayDecl("A", (8, 8))
+        i, j = Var("I"), Var("J")
+        af = a(i + 3, j).access_function(("I", "J"))
+        assert af.constant_offset() == [3, 0]
+
+    def test_constant_offset_raises_with_params(self):
+        a = ArrayDecl("A", (8, 8))
+        i, j = Var("I"), Var("J")
+        af = a(i + Param("N"), j).access_function(("I", "J"))
+        with pytest.raises(ValueError):
+            af.constant_offset()
+
+    def test_partial_depth(self):
+        a = ArrayDecl("A", (8, 8))
+        i1, i2 = Var("I1"), Var("I2")
+        ref = a(i2, i1)
+        af = ref.access_function(("I1",))
+        assert af.matrix == ((0,), (1,))
+        # I2 lands in the offset as a residual symbol
+        assert af.offset[0].coeff("I2") == 1

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lu", "vpenta", "tomcatv"):
+            assert name in out
+
+    def test_decompose(self, capsys):
+        assert main(["decompose", "lu", "--n", "12", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "(*, CYCLIC)" in out
+        assert "pipelined" in out
+
+    def test_decompose_verbose(self, capsys):
+        assert main([
+            "decompose", "simple", "--n", "12", "--procs", "4", "--verbose"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "C[" in out
+
+    def test_emit(self, capsys):
+        assert main([
+            "emit", "simple", "--n", "8", "--procs", "2", "--scheme", "data"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spmd_main" in out
+
+    def test_run(self, capsys):
+        assert main([
+            "run", "simple", "--n", "16", "--procs-list", "1,4",
+            "--scale", "32", "--scheme", "base",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out
+        assert "1.00" in out
+
+    def test_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["decompose", "nosuchapp"])

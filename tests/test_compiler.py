@@ -1,0 +1,111 @@
+"""Tests for the integrated compiler driver and C emission."""
+
+import pytest
+
+from repro.apps import lu, simple
+from repro.codegen.spmd import Scheme, SyncKind
+from repro.compiler import (
+    CompiledProgram,
+    compile_all,
+    compile_program,
+    emit_c_program,
+    restructure_program,
+)
+
+
+class TestRestructure:
+    def test_memoized(self, figure1_program):
+        r1 = restructure_program(figure1_program)
+        r2 = restructure_program(figure1_program)
+        assert r1 is r2
+        assert restructure_program(r1) is r1
+
+    def test_relax_interchanged(self, figure1_program):
+        r = restructure_program(figure1_program)
+        relax = r.nest("relax")
+        assert [l.var for l in relax.loops] == ["I", "J"]
+
+    def test_preserves_arrays_and_params(self, figure1_program):
+        r = restructure_program(figure1_program)
+        assert r.arrays == figure1_program.arrays
+        assert r.params == figure1_program.params
+        assert r.time_steps == figure1_program.time_steps
+
+
+class TestCompile:
+    def test_base(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 4)
+        assert spmd.scheme is Scheme.BASE
+        assert spmd.nprocs == 4
+        assert len(spmd.phases) == 2
+
+    def test_decomp_auto(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.COMP_DECOMP, 4)
+        assert spmd.decomposition is not None
+
+    def test_compile_all(self, figure1_program):
+        cp = compile_all(figure1_program, 4)
+        assert isinstance(cp, CompiledProgram)
+        assert cp.by_scheme(Scheme.BASE) is cp.base
+        assert cp.by_scheme(Scheme.COMP_DECOMP_DATA) is cp.comp_decomp_data
+        # shared decomposition
+        assert cp.comp_decomp.decomposition is cp.decomposition
+
+    def test_invalid_program_rejected(self):
+        from repro.ir.program import Program
+
+        bad = Program("b")
+        from repro.ir.arrays import ArrayDecl
+        from repro.ir.expr import Var
+        from repro.ir.loops import Loop, LoopNest, Statement
+
+        stray = ArrayDecl("Z", (4,))
+        bad.nests.append(
+            LoopNest("n", [Loop.make("I", 0, 3)],
+                     [Statement(write=stray(Var("I")), reads=())])
+        )
+        with pytest.raises(ValueError):
+            compile_program(bad, Scheme.BASE, 2)
+
+
+class TestEmitC:
+    def test_contains_structure(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.COMP_DECOMP_DATA, 4)
+        src = emit_c_program(spmd)
+        assert "spmd_main" in src
+        assert "for (J" in src or "for (I" in src
+        assert "double A[" in src
+        # data scheme: no barrier needed for the all-local phases
+        assert "barrier()" not in src
+
+    def test_base_has_barriers(self, figure1_program):
+        src = emit_c_program(compile_program(figure1_program, Scheme.BASE, 4))
+        assert "barrier()" in src
+
+    def test_divmod_in_restructured_addresses(self):
+        prog = lu.build(8)
+        src = emit_c_program(compile_program(prog, Scheme.COMP_DECOMP_DATA, 4))
+        assert "%" in src and "/" in src
+
+    def test_pipeline_comment(self):
+        prog = lu.build(8)
+        src = emit_c_program(compile_program(prog, Scheme.COMP_DECOMP, 4))
+        assert "pipeline" in src
+
+    def test_replicated_note(self):
+        from repro.apps import erlebacher
+
+        prog = erlebacher.build(6, time_steps=2)
+        src = emit_c_program(compile_program(prog, Scheme.COMP_DECOMP, 4))
+        assert "replicated" in src
+
+    def test_paper_example_shape(self):
+        """The (BLOCK, *) SPMD code of Section 4.3: the restructured
+        array A is declared with strip dimensions b x N x P."""
+        prog = simple.build(n=16, time_steps=1)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP_DATA, 4)
+        ta = spmd.transformed["A"]
+        assert ta.restructured
+        assert ta.layout.dims == (4, 16, 4)  # (b, N, P)
+        src = emit_c_program(spmd)
+        assert "double A[4 * 16 * 4]" in src

@@ -1,0 +1,136 @@
+"""Tests for the decomposition data model and folding functions."""
+
+import pytest
+
+from repro.decomp.folding import fold_owner, grid_shape, linearize_grid
+from repro.decomp.model import (
+    CompDecomp,
+    DataDecomp,
+    Decomposition,
+    FoldKind,
+    Folding,
+)
+
+
+class TestFolding:
+    def test_block_owner(self):
+        f = Folding(FoldKind.BLOCK)
+        # 10 elements over 4 procs: strips of 3
+        owners = [f.owner(v, 10, 4) for v in range(10)]
+        assert owners == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_block_owner_clamped(self):
+        f = Folding(FoldKind.BLOCK)
+        # 8 over 3: strip 3 -> owners 0,0,0,1,1,1,2,2
+        assert f.owner(7, 8, 3) == 2
+
+    def test_cyclic_owner(self):
+        f = Folding(FoldKind.CYCLIC)
+        assert [f.owner(v, 10, 4) for v in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_cyclic_owner(self):
+        f = Folding(FoldKind.BLOCK_CYCLIC, 2)
+        # blocks of 2, round robin over 2 procs
+        assert [f.owner(v, 8, 2) for v in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_block_cyclic_requires_block(self):
+        with pytest.raises(ValueError):
+            Folding(FoldKind.BLOCK_CYCLIC)
+
+    def test_owner_invalid_nproc(self):
+        with pytest.raises(ValueError):
+            Folding(FoldKind.BLOCK).owner(0, 4, 0)
+
+    def test_repr(self):
+        assert repr(Folding(FoldKind.BLOCK)) == "BLOCK"
+        assert repr(Folding(FoldKind.BLOCK_CYCLIC, 4)) == "BLOCK_CYCLIC(4)"
+
+
+class TestGridShape:
+    def test_rank0(self):
+        assert grid_shape(8, 0) == ()
+
+    def test_rank1(self):
+        assert grid_shape(8, 1) == (8,)
+
+    def test_rank2_square(self):
+        assert grid_shape(16, 2) == (4, 4)
+
+    def test_rank2_rect(self):
+        assert grid_shape(32, 2) == (8, 4)
+        assert grid_shape(2, 2) == (2, 1)
+
+    def test_rank2_prime(self):
+        assert grid_shape(7, 2) == (7, 1)
+
+    def test_product_invariant(self):
+        for p in range(1, 33):
+            for r in (1, 2, 3):
+                g = grid_shape(p, r)
+                prod = 1
+                for x in g:
+                    prod *= x
+                assert prod == p
+
+    def test_linearize_column_major(self):
+        grid = (4, 2)
+        pids = set()
+        for c1 in range(2):
+            for c0 in range(4):
+                pids.add(linearize_grid((c0, c1), grid))
+        assert pids == set(range(8))
+        # dim 0 is fastest
+        assert linearize_grid((1, 0), grid) == 1
+        assert linearize_grid((0, 1), grid) == 4
+
+    def test_fold_owner(self):
+        coords = fold_owner(
+            (5, 3), (10, 8), (Folding(FoldKind.BLOCK), Folding(FoldKind.CYCLIC)),
+            (2, 4),
+        )
+        assert coords == (1, 3)
+
+
+class TestDecompObjects:
+    def test_comp_virtual_proc(self):
+        cd = CompDecomp("n", 0, matrix=[[0, 1], [1, 0]], offset=[0, 1])
+        assert cd.virtual_proc((3, 4)) == (4, 4)
+        assert cd.rank == 2
+
+    def test_comp_empty(self):
+        cd = CompDecomp("n", 0, matrix=[], offset=[])
+        assert cd.virtual_proc((1, 2)) == ()
+        assert cd.rank == 0
+
+    def test_data_virtual_proc(self):
+        dd = DataDecomp("A", matrix=[[1, 0]], offset=[0])
+        assert dd.virtual_proc((7, 2)) == (7,)
+
+    def test_distributed_dims(self):
+        dd = DataDecomp("A", matrix=[[0, 1], [1, 0]], offset=[0, 0])
+        assert dd.distributed_dims() == [(0, 1), (1, 0)]
+
+    def test_distributed_dims_skips_zero_rows(self):
+        dd = DataDecomp("A", matrix=[[0, 0], [1, 0]], offset=[0, 0])
+        assert dd.distributed_dims() == [(1, 0)]
+
+    def test_distributed_dims_rejects_general_affine(self):
+        dd = DataDecomp("A", matrix=[[1, 1]], offset=[0])
+        with pytest.raises(ValueError):
+            dd.distributed_dims()
+
+    def test_decomposition_queries(self):
+        d = Decomposition(rank=1)
+        d.comp[("n", 0)] = CompDecomp("n", 0, [[1]], [0])
+        d.data["A"] = DataDecomp("A", [[1]], [0])
+        d.pipelined_nests.append("n")
+        assert d.comp_for("n", 0) is not None
+        assert d.comp_for("x", 0) is None
+        assert d.data_for("A") is not None
+        assert d.is_pipelined("n")
+        assert not d.is_pipelined("m")
+
+    def test_summary_mentions_replication(self):
+        d = Decomposition(rank=1, foldings=[Folding(FoldKind.BLOCK)])
+        d.data["U"] = DataDecomp("U", [[0, 0]], [0], replicated=True)
+        assert "REPLICATED" in d.summary()

@@ -1,0 +1,167 @@
+"""Tests for the exact dependence analysis."""
+
+import pytest
+
+from repro.analysis.dependence import (
+    LOOP_INDEPENDENT,
+    analyze_nest,
+    dependence_distance_table,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.loops import Statement
+
+
+def single_nest(loops, body_fn, arrays, params=None):
+    pb = ProgramBuilder("t", params=params or {})
+    decls = {name: pb.array(name, dims) for name, dims in arrays.items()}
+    nest = pb.nest("n", loops, body_fn(pb, decls))
+    return pb.build(validate=False), nest
+
+
+class TestNoDependence:
+    def test_disjoint_arrays(self):
+        prog, nest = single_nest(
+            [("I", 0, 7)],
+            lambda pb, d: [pb.assign(d["A"](pb.vars("I")[0]),
+                                     [d["B"](pb.vars("I")[0])], None)],
+            {"A": (8,), "B": (8,)},
+        )
+        deps = analyze_nest(nest, prog.params)
+        assert deps == []
+
+    def test_gcd_filter(self):
+        # A(2I) written, A(2I+1) read: never intersect.
+        pb = ProgramBuilder("t")
+        a = pb.array("A", (32,))
+        (i,) = pb.vars("I")
+        nest = pb.nest("n", [("I", 0, 7)],
+                       [pb.assign(a(2 * i), [a(2 * i + 1)], None)])
+        deps = analyze_nest(nest, {})
+        assert deps == []
+
+    def test_out_of_range_distance(self):
+        # A(I) = A(I+100) with only 8 iterations: no overlap.
+        pb = ProgramBuilder("t")
+        a = pb.array("A", (200,))
+        (i,) = pb.vars("I")
+        nest = pb.nest("n", [("I", 0, 7)],
+                       [pb.assign(a(i), [a(i + 100)], None)])
+        assert analyze_nest(nest, {}) == []
+
+
+class TestUniformDependences:
+    def test_flow_distance_one(self):
+        pb = ProgramBuilder("t")
+        a = pb.array("A", (16,))
+        (i,) = pb.vars("I")
+        nest = pb.nest("n", [("I", 1, 14)],
+                       [pb.assign(a(i), [a(i - 1)], None)])
+        deps = analyze_nest(nest, {})
+        flows = [d for d in deps if d.kind == "flow" and d.level == 0]
+        assert flows and all(d.distance == (1,) for d in flows)
+
+    def test_anti_dependence(self):
+        pb = ProgramBuilder("t")
+        a = pb.array("A", (16,))
+        (i,) = pb.vars("I")
+        nest = pb.nest("n", [("I", 0, 13)],
+                       [pb.assign(a(i), [a(i + 2)], None)])
+        deps = analyze_nest(nest, {})
+        antis = [d for d in deps if d.kind == "anti" and d.level == 0]
+        assert antis and all(d.distance == (2,) for d in antis)
+
+    def test_figure1_relax(self, figure1_program):
+        nest = figure1_program.nest("relax")
+        table = dependence_distance_table(nest, figure1_program.params)
+        assert 0 in table  # carried by J
+        assert 1 not in table  # I parallel
+        for d in table[0]:
+            assert d.distance == (1, 0)
+
+    def test_output_dependence(self):
+        pb = ProgramBuilder("t")
+        a = pb.array("A", (16, 16))
+        i, j = pb.vars("I", "J")
+        # A(I,0) written every J iteration: output dep carried by J.
+        nest = pb.nest("n", [("I", 0, 7), ("J", 0, 7)],
+                       [pb.assign(a(i, 0 * j), [a(i, j)], None)])
+        deps = analyze_nest(nest, {})
+        outs = [d for d in deps if d.kind == "output"]
+        assert any(d.level == 1 for d in outs)
+
+    def test_loop_independent_between_statements(self):
+        pb = ProgramBuilder("t")
+        a = pb.array("A", (16,))
+        b = pb.array("B", (16,))
+        (i,) = pb.vars("I")
+        nest = pb.nest("n", [("I", 0, 15)], [
+            pb.assign(a(i), [b(i)], None),
+            pb.assign(b(i), [a(i)], None),
+        ])
+        deps = analyze_nest(nest, {})
+        li = [d for d in deps if d.level == LOOP_INDEPENDENT]
+        # flow A: s0 writes A(i), s1 reads A(i) in same iteration
+        assert any(d.array == "A" and d.kind == "flow" for d in li)
+        # no loop-independent dep may flow backwards in the body
+        assert all(d.src_stmt <= d.dst_stmt for d in li)
+
+
+class TestTriangularAndImperfect:
+    def test_lu_all_carried_outermost(self, lu_program):
+        nest = lu_program.nests[0]
+        deps = analyze_nest(nest, lu_program.params)
+        carried = [d for d in deps if d.level >= 0]
+        assert carried
+        assert all(d.level == 0 for d in carried)
+
+    def test_lu_positive_first_component(self, lu_program):
+        nest = lu_program.nests[0]
+        for d in analyze_nest(nest, lu_program.params):
+            if d.level == 0:
+                assert d.dmin[0] is not None and d.dmin[0] >= 1
+
+    def test_imperfect_common_depth(self, lu_program):
+        nest = lu_program.nests[0]
+        deps = analyze_nest(nest, lu_program.params)
+        # deps between the depth-2 scale stmt and depth-3 update stmt
+        cross = [d for d in deps if d.src_stmt != d.dst_stmt]
+        assert cross
+        for d in cross:
+            assert len(d.dmin) == 2  # min(depth(s1), depth(s2))
+
+
+class TestParamOffsets:
+    def test_reversed_access(self):
+        # A(N-1-I) = A(N-I): anti/flow with distance via param offsets.
+        n = 10
+        pb = ProgramBuilder("t", params={"N": n})
+        a = pb.array("A", (n,))
+        (i,) = pb.vars("I")
+        rev = -1 * i + (n - 1)
+        nest = pb.nest("n", [("I", 1, n - 1)],
+                       [pb.assign(a(rev), [a(rev + 1)], None)])
+        deps = analyze_nest(nest, pb._prog.params)
+        flows = [d for d in deps if d.kind == "flow" and d.level == 0]
+        assert flows and all(d.distance == (1,) for d in flows)
+
+
+class TestDedupAndRepr:
+    def test_no_duplicates(self, figure1_program):
+        nest = figure1_program.nest("relax")
+        deps = analyze_nest(nest, figure1_program.params)
+        keys = [
+            (d.array, d.src_stmt, d.dst_stmt, d.kind, d.level, d.dmin, d.dmax)
+            for d in deps
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_repr_contains_kind(self, figure1_program):
+        nest = figure1_program.nest("relax")
+        deps = analyze_nest(nest, figure1_program.params)
+        assert any("flow" in repr(d) for d in deps)
+
+    def test_memoization_returns_same_list(self, figure1_program):
+        nest = figure1_program.nest("relax")
+        a = analyze_nest(nest, figure1_program.params)
+        b = analyze_nest(nest, figure1_program.params)
+        assert a is b

@@ -1,0 +1,116 @@
+"""Tests for the diagonal-layout extension (Section 4.1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatrans.diagonal import DiagonalLayout, diagonal_layout
+
+
+class TestGeometry:
+    def test_diagonal_count(self):
+        lay = diagonal_layout((4, 3))
+        assert lay.ndiagonals == 6
+
+    def test_diagonal_lengths(self):
+        lay = diagonal_layout((3, 3))
+        assert [lay.diagonal_length(d) for d in range(5)] == [1, 2, 3, 2, 1]
+
+    def test_diagonal_lengths_rect(self):
+        lay = diagonal_layout((4, 2))
+        assert [lay.diagonal_length(d) for d in range(5)] == [1, 2, 2, 2, 1]
+
+    def test_length_out_of_range(self):
+        with pytest.raises(IndexError):
+            diagonal_layout((3, 3)).diagonal_length(5)
+
+    def test_sizes(self):
+        boxed = diagonal_layout((4, 3), packed=False)
+        packed = diagonal_layout((4, 3), packed=True)
+        assert packed.size == 12  # dense
+        assert boxed.size == 6 * 3  # diagonals x min-dim
+        assert boxed.size >= packed.size
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            diagonal_layout((0, 3))
+
+
+class TestMapping:
+    def test_diagonal_contiguous(self):
+        """THE property the paper wants: elements of one anti-diagonal
+        occupy consecutive addresses."""
+        for packed in (False, True):
+            lay = diagonal_layout((5, 4), packed=packed)
+            for d in range(lay.ndiagonals):
+                addrs = []
+                for i in range(5):
+                    j = d - i
+                    if 0 <= j < 4:
+                        addrs.append(lay.linearize((i, j)))
+                addrs.sort()
+                assert addrs == list(range(addrs[0], addrs[0] + len(addrs)))
+
+    def test_packed_dense(self):
+        lay = diagonal_layout((4, 4), packed=True)
+        addrs = sorted(
+            lay.linearize((i, j)) for i in range(4) for j in range(4)
+        )
+        assert addrs == list(range(16))
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_bijective(self, d1, d2, packed):
+        lay = diagonal_layout((d1, d2), packed=packed)
+        assert lay.is_bijective()
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_unmap_roundtrip(self, d1, d2, packed):
+        lay = diagonal_layout((d1, d2), packed=packed)
+        for i in range(d1):
+            for j in range(d2):
+                assert lay.unmap(lay.linearize((i, j))) == (i, j)
+
+    def test_unmap_padding_raises(self):
+        lay = diagonal_layout((3, 3), packed=False)
+        # diagonal 0 has length 1 but the boxed slot is 3 wide
+        with pytest.raises(IndexError):
+            lay.unmap(1)
+
+    def test_bounds_checked(self):
+        lay = diagonal_layout((3, 3))
+        with pytest.raises(IndexError):
+            lay.linearize((3, 0))
+
+    def test_vectorized_matches_scalar(self):
+        lay = diagonal_layout((6, 5), packed=True)
+        i = np.repeat(np.arange(6), 5)
+        j = np.tile(np.arange(5), 6)
+        vec = lay.linearize_vec([i, j])
+        for k in range(len(i)):
+            assert vec[k] == lay.linearize((int(i[k]), int(j[k])))
+
+
+class TestUseCase:
+    def test_wavefront_traversal_locality(self):
+        """A wavefront loop touching one diagonal per step gets stride-1
+        accesses under the diagonal layout but scattered ones under
+        column-major — the motivation the paper sketches."""
+        from repro.datatrans.layout import Layout
+
+        n = 8
+        diag = diagonal_layout((n, n), packed=True)
+        colmajor = Layout.identity((n, n))
+        d = n  # a middle anti-diagonal
+        diag_addrs = []
+        cm_addrs = []
+        for i in range(n):
+            j = d - i
+            if 0 <= j < n:
+                diag_addrs.append(diag.linearize((i, j)))
+                cm_addrs.append(colmajor.linearize((i, j)))
+        strides = np.diff(sorted(diag_addrs))
+        assert (strides == 1).all()
+        cm_strides = np.diff(sorted(cm_addrs))
+        assert (cm_strides > 1).all()

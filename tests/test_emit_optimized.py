@@ -1,0 +1,86 @@
+"""Tests for optimized SPMD emission (Section 4.3's rewritten code)."""
+
+import re
+
+import pytest
+
+from repro.apps import lu, simple, stencil5
+from repro.codegen.emit_optimized import emit_optimized_program
+from repro.codegen.spmd import Scheme
+from repro.compiler import compile_program
+
+
+@pytest.fixture(scope="module")
+def simple_spmd():
+    return compile_program(
+        simple.build(n=16, time_steps=1), Scheme.COMP_DECOMP_DATA, 4
+    )
+
+
+class TestStructure:
+    def test_no_divmod_inside_inner_loop_body(self, simple_spmd):
+        """The defining property: after optimization the loop bodies
+        contain no division or modulo on the loop variable."""
+        src = emit_optimized_program(simple_spmd, proc=1)
+        # statement lines are those with an assignment to f(...)
+        for line in src.splitlines():
+            if "= f(" in line:
+                assert "/" not in line
+                assert "%" not in line
+
+    def test_counters_declared_and_incremented(self, simple_spmd):
+        src = emit_optimized_program(simple_spmd, proc=1)
+        assert re.search(r"int m\d+ = .* % 4;", src)
+        assert re.search(r"int q\d+ = .* / 4;", src)
+        assert re.search(r"m\d+ \+= 1;", src)
+
+    def test_processor_bounds_specialized(self, simple_spmd):
+        # N=16, P=4: processor 1's strip is rows 4..7
+        src = emit_optimized_program(simple_spmd, proc=1)
+        assert "I = 4; I <= 7" in src
+        src0 = emit_optimized_program(simple_spmd, proc=0)
+        assert "I = 0; I <= 3" in src0
+
+    def test_strip_constant_matches_owner(self, simple_spmd):
+        """The hoisted div seed for processor 1 is the constant 4/4 = 1
+        — the paper's idiv = myid."""
+        src = emit_optimized_program(simple_spmd, proc=1)
+        assert "int q0 = (4) / 4;" in src
+
+
+class TestFallbacks:
+    def test_cyclic_falls_back_to_naive(self):
+        spmd = compile_program(lu.build(8), Scheme.COMP_DECOMP_DATA, 4)
+        src = emit_optimized_program(spmd, proc=0)
+        assert "naive subscripts retained" in src
+
+    def test_serial_program(self):
+        spmd = compile_program(
+            simple.build(n=8, time_steps=1), Scheme.COMP_DECOMP_DATA, 1
+        )
+        src = emit_optimized_program(spmd, proc=0)
+        assert "I = 0; I <= 7" in src
+
+    def test_2d_blocks(self):
+        spmd = compile_program(
+            stencil5.build(n=16, time_steps=1), Scheme.COMP_DECOMP_DATA, 4
+        )
+        src = emit_optimized_program(spmd, proc=3)
+        # both grid dims specialized: last processor owns the high block
+        assert "for (I1 = 8; I1 <= 14" in src or \
+               "for (I2 = 8; I2 <= 14" in src
+
+
+class TestSemantics:
+    def test_counter_values_track_addresses(self, simple_spmd):
+        """Replay the emitted 'add' loop for processor 1 in Python and
+        check the computed addresses equal the layout's."""
+        ta = simple_spmd.transformed["A"]
+        b = 4
+        for j in range(16):
+            m = b * 1 % b  # seed: (4) % 4
+            q = (b * 1) // b
+            for i in range(4, 8):
+                addr = m + 4 * j + 64 * q
+                assert addr == ta.layout.linearize((i, j))
+                m += 1

@@ -1,0 +1,133 @@
+"""Semantic validation: the IR interpreter must match every app's
+vectorized NumPy golden model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import adi, erlebacher, lu, simple, stencil5, swm, tomcatv, vpenta
+from repro.codegen.executor import default_init, execute_program
+
+
+def assert_matches(prog, ref, got):
+    for name in ref:
+        assert np.allclose(ref[name], got[name], rtol=1e-10, atol=1e-10), name
+
+
+class TestApps:
+    def test_simple(self):
+        prog = simple.build(n=10, time_steps=3)
+        init = default_init(prog)
+        ref = simple.reference(init, 10, time_steps=3)
+        assert_matches(prog, ref, execute_program(prog, init=init))
+
+    def test_lu(self):
+        prog = lu.build(n=8)
+        init = lu.well_conditioned_init(8)
+        ref = lu.reference(init, 8)
+        got = execute_program(prog, init=init)
+        assert_matches(prog, ref, got)
+        # and it really factored: A = L@U reconstructs the input
+        a0 = init["A"]
+        f = got["A"]
+        l = np.tril(f, -1) + np.eye(8)
+        u = np.triu(f)
+        assert np.allclose(l @ u, a0, rtol=1e-8, atol=1e-8)
+
+    def test_stencil(self):
+        prog = stencil5.build(n=10, time_steps=3)
+        init = default_init(prog)
+        ref = stencil5.reference(init, 10, time_steps=3)
+        assert_matches(prog, ref, execute_program(prog, init=init))
+
+    def test_adi(self):
+        prog = adi.build(n=8, time_steps=2)
+        init = adi.stable_init(8)
+        ref = adi.reference(init, 8, time_steps=2)
+        assert_matches(prog, ref, execute_program(prog, init=init))
+
+    def test_vpenta(self):
+        prog = vpenta.build(n=10, time_steps=2)
+        init = default_init(prog)
+        ref = vpenta.reference(init, 10, time_steps=2)
+        assert_matches(prog, ref, execute_program(prog, init=init))
+
+    def test_erlebacher(self):
+        prog = erlebacher.build(n=6, time_steps=2)
+        init = default_init(prog)
+        ref = erlebacher.reference(init, 6, time_steps=2)
+        assert_matches(prog, ref, execute_program(prog, init=init))
+
+    def test_swm(self):
+        prog = swm.build(n=10, time_steps=3)
+        init = default_init(prog)
+        ref = swm.reference(init, 10, time_steps=3)
+        assert_matches(prog, ref, execute_program(prog, init=init))
+
+    def test_tomcatv(self):
+        prog = tomcatv.build(n=10, time_steps=3)
+        init = default_init(prog)
+        ref = tomcatv.reference(init, 10, time_steps=3)
+        assert_matches(prog, ref, execute_program(prog, init=init))
+
+
+class TestExecutorMechanics:
+    def test_default_init_deterministic(self, figure1_program):
+        a = default_init(figure1_program)
+        b = default_init(figure1_program)
+        for k in a:
+            assert np.array_equal(a[k], b[k])
+
+    def test_missing_init_zeros(self, figure1_program):
+        got = execute_program(figure1_program, init={}, time_steps=1)
+        # B and C default to zeros, so A ends at zero
+        assert np.allclose(got["A"], 0.0)
+
+    def test_shape_mismatch_rejected(self, figure1_program):
+        with pytest.raises(ValueError):
+            execute_program(
+                figure1_program, init={"A": np.zeros((3, 3))}
+            )
+
+    def test_default_compute_sums_reads(self):
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder("t")
+        a = pb.array("A", (4,))
+        b = pb.array("B", (4,))
+        (i,) = pb.vars("I")
+        pb.nest("n", [("I", 0, 3)], [pb.assign(a(i), [b(i), b(i)], None)])
+        got = execute_program(
+            pb.build(), init={"B": np.ones(4)}, time_steps=1
+        )
+        assert np.allclose(got["A"], 2.0)
+
+    def test_time_steps_override(self):
+        prog = simple.build(n=8, time_steps=5)
+        init = default_init(prog)
+        one = execute_program(prog, init=init, time_steps=1)
+        ref = simple.reference(init, 8, time_steps=1)
+        assert np.allclose(one["A"], ref["A"])
+
+    def test_statement_depth_ordering(self, lu_program):
+        """The depth-2 scale statement must execute before the inner
+        update loop for the same (I1, I2) — checked implicitly by LU
+        matching its golden model, and explicitly here on a crafted
+        case where the wrong order would differ."""
+        from repro.ir.builder import ProgramBuilder
+        from repro.ir.loops import Statement
+
+        pb = ProgramBuilder("t", params={})
+        a = pb.array("A", (4, 4))
+        i, j = pb.vars("I", "J")
+        nest = pb.nest("n", [("I", 0, 3), ("J", 0, 3)], [])
+        s_outer = Statement(write=a(i, 0 * j), reads=(a(i, 0 * j),),
+                            compute=lambda x: x + 1.0, depth=1)
+        s_inner = Statement(write=a(i, j), reads=(a(i, 0 * j),),
+                            compute=lambda x: x * 2.0, depth=2)
+        nest.body = [s_outer, s_inner]
+        got = execute_program(pb.build(), init={"A": np.zeros((4, 4))},
+                              time_steps=1)
+        # per row: outer statement bumps A[i,0] to 1 BEFORE inner doubles:
+        # j=0: A[i,0] = 2*1 = 2; then j>0 read A[i,0]=2 -> 4.
+        assert np.allclose(got["A"][:, 0], 2.0)
+        assert np.allclose(got["A"][:, 1:], 4.0)

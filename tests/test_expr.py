@@ -1,0 +1,140 @@
+"""Tests for affine expressions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.expr import AffineExpr, Const, Param, Var
+
+
+class TestConstruction:
+    def test_var(self):
+        v = Var("I")
+        assert v.coeff("I") == 1
+        assert v.const == 0
+        assert v.variables == ("I",)
+
+    def test_const(self):
+        c = Const(5)
+        assert c.is_constant()
+        assert c.constant_value() == 5
+
+    def test_zero_coeffs_dropped(self):
+        e = AffineExpr({"I": 0, "J": 2}, 1)
+        assert e.variables == ("J",)
+
+    def test_coerce(self):
+        assert AffineExpr.coerce(3) == Const(3)
+        e = Var("I")
+        assert AffineExpr.coerce(e) is e
+
+    def test_immutability(self):
+        e = Var("I")
+        with pytest.raises(AttributeError):
+            e.const = 5
+
+    def test_constant_value_raises_on_nonconstant(self):
+        with pytest.raises(ValueError):
+            Var("I").constant_value()
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = Var("I") + Var("J") + 3
+        assert e.coeff("I") == 1
+        assert e.coeff("J") == 1
+        assert e.const == 3
+
+    def test_radd_rsub(self):
+        e = 5 + Var("I")
+        assert e.const == 5
+        e2 = 5 - Var("I")
+        assert e2.coeff("I") == -1
+        assert e2.const == 5
+
+    def test_sub_cancel(self):
+        e = Var("I") - Var("I")
+        assert e == 0
+
+    def test_scale(self):
+        e = 3 * (Var("I") + 1)
+        assert e.coeff("I") == 3
+        assert e.const == 3
+
+    def test_scale_by_const_expr(self):
+        e = Var("I") * Const(4)
+        assert e.coeff("I") == 4
+
+    def test_scale_by_nonconst_raises(self):
+        with pytest.raises(TypeError):
+            Var("I") * Var("J")
+
+    def test_neg(self):
+        e = -(Var("I") + 2)
+        assert e.coeff("I") == -1
+        assert e.const == -2
+
+
+class TestEvalSubs:
+    def test_eval(self):
+        e = 2 * Var("I") - Var("J") + 7
+        assert e.eval({"I": 3, "J": 4}) == 9
+
+    def test_eval_missing_binding(self):
+        with pytest.raises(KeyError):
+            Var("I").eval({})
+
+    def test_subs_int(self):
+        e = Var("I") + Var("J")
+        assert e.subs({"I": 5}) == Var("J") + 5
+
+    def test_subs_expr(self):
+        e = 2 * Var("I")
+        out = e.subs({"I": Var("K") + 1})
+        assert out == 2 * Var("K") + 2
+
+    def test_depends_on(self):
+        e = Var("I") + Param("N")
+        assert e.depends_on(["I"])
+        assert not e.depends_on(["J"])
+
+
+class TestEquality:
+    def test_hash_eq(self):
+        a = Var("I") + 1
+        b = 1 + Var("I")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_int_comparison(self):
+        assert Const(4) == 4
+        assert AffineExpr({}, 0) == 0
+
+    def test_repr_roundtrip_ish(self):
+        assert repr(Var("I") - Var("J") + 2) == "I - J + 2"
+        assert repr(Const(0)) == "0"
+
+
+ints = st.integers(-20, 20)
+exprs = st.builds(
+    lambda ci, cj, c: AffineExpr({"I": ci, "J": cj}, c), ints, ints, ints
+)
+
+
+class TestAlgebraProperties:
+    @given(exprs, exprs, st.integers(-10, 10), st.integers(-10, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_linearity_under_eval(self, e1, e2, i, j):
+        env = {"I": i, "J": j}
+        assert (e1 + e2).eval(env) == e1.eval(env) + e2.eval(env)
+        assert (e1 - e2).eval(env) == e1.eval(env) - e2.eval(env)
+        assert (e1 * 3).eval(env) == 3 * e1.eval(env)
+        assert (-e1).eval(env) == -e1.eval(env)
+
+    @given(exprs, st.integers(-10, 10), st.integers(-10, 10),
+           st.integers(-10, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_subs_commutes_with_eval(self, e, k, i, j):
+        env = {"K": k, "J": j}
+        substituted = e.subs({"I": Var("K") * 2 + 1})
+        direct = e.eval({"I": 2 * k + 1, "J": j})
+        assert substituted.eval(env) == direct

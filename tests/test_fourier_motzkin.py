@@ -1,0 +1,161 @@
+"""Tests for the rational Fourier–Motzkin solver."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.fourier_motzkin import LinearSystem
+
+
+def box(sys, var, lo, hi):
+    sys.add_ge({var: 1}, -lo)  # var >= lo
+    sys.add_le({var: 1}, -hi)  # var <= hi
+
+
+class TestFeasibility:
+    def test_empty_is_feasible(self):
+        assert LinearSystem().feasible()
+
+    def test_box(self):
+        s = LinearSystem()
+        box(s, "x", 0, 5)
+        assert s.feasible()
+
+    def test_empty_interval(self):
+        s = LinearSystem()
+        box(s, "x", 5, 2)
+        assert not s.feasible()
+
+    def test_equality_consistent(self):
+        s = LinearSystem()
+        box(s, "x", 0, 10)
+        box(s, "y", 0, 10)
+        s.add_eq({"x": 1, "y": -1}, -3)  # x = y + 3
+        assert s.feasible()
+
+    def test_equality_inconsistent(self):
+        s = LinearSystem()
+        s.add_eq({"x": 1}, -1)  # x = 1
+        s.add_eq({"x": 1}, -2)  # x = 2
+        assert not s.feasible()
+
+    def test_triangular(self):
+        # 0 <= i <= 5, i+1 <= j <= 5 is feasible; i >= 5 makes it empty
+        s = LinearSystem()
+        box(s, "i", 0, 5)
+        s.add_ge({"j": 1, "i": -1}, -1)  # j >= i+1
+        s.add_le({"j": 1}, -5)
+        assert s.feasible()
+        s.add_ge({"i": 1}, -5)  # i >= 5 -> j >= 6 > 5
+        assert not s.feasible()
+
+    def test_transitive_contradiction(self):
+        # x <= y, y <= z, z <= x - 1
+        s = LinearSystem()
+        s.add_le({"x": 1, "y": -1}, 0)
+        s.add_le({"y": 1, "z": -1}, 0)
+        s.add_le({"z": 1, "x": -1}, 1)
+        assert not s.feasible()
+
+
+class TestObjectiveBounds:
+    def test_box_bounds(self):
+        s = LinearSystem()
+        box(s, "x", 2, 7)
+        lo, hi = s.objective_bounds({"x": 1})
+        assert lo == 2 and hi == 7
+
+    def test_affine_objective(self):
+        s = LinearSystem()
+        box(s, "x", 0, 3)
+        box(s, "y", 1, 2)
+        lo, hi = s.objective_bounds({"x": 2, "y": -1}, 5)
+        assert lo == 0 - 2 + 5
+        assert hi == 6 - 1 + 5
+
+    def test_unbounded(self):
+        s = LinearSystem()
+        s.add_ge({"x": 1}, 0)  # x >= 0, no upper bound
+        lo, hi = s.objective_bounds({"x": 1})
+        assert lo == 0
+        assert hi is None
+
+    def test_infeasible_returns_none(self):
+        s = LinearSystem()
+        box(s, "x", 3, 1)
+        assert s.objective_bounds({"x": 1}) is None
+
+    def test_constant_objective(self):
+        s = LinearSystem()
+        box(s, "x", 0, 5)
+        lo, hi = s.objective_bounds({}, 4)
+        assert lo == 4 and hi == 4
+
+    def test_through_equalities(self):
+        # d = j' - j with j' = j + 2
+        s = LinearSystem()
+        box(s, "j", 0, 9)
+        box(s, "jp", 0, 9)
+        s.add_eq({"jp": 1, "j": -1}, -2)
+        lo, hi = s.objective_bounds({"jp": 1, "j": -1})
+        assert lo == 2 and hi == 2
+
+    def test_triangular_distance_positive(self):
+        """The LU-style bound: d = k - i with i in [0,N], k in [i+1,N]
+        must come out strictly positive."""
+        s = LinearSystem()
+        n = 10
+        box(s, "i", 0, n)
+        s.add_ge({"k": 1, "i": -1}, -1)
+        s.add_le({"k": 1}, -n)
+        lo, hi = s.objective_bounds({"k": 1, "i": -1})
+        assert lo == 1 and hi == n
+
+    def test_copy_is_independent(self):
+        s = LinearSystem()
+        box(s, "x", 0, 5)
+        s2 = s.copy()
+        s2.add_le({"x": 1}, 1)  # x <= -1 - infeasible
+        assert s.feasible()
+        assert not s2.feasible()
+
+    def test_variables_listing(self):
+        s = LinearSystem()
+        s.add_le({"b": 1, "a": -2}, 0)
+        s.add_eq({"c": 1}, 0)
+        assert s.variables() == ["a", "b", "c"]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-5, 5), st.integers(-5, 5), st.integers(-8, 8)),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(-4, 4),
+    st.integers(-4, 4),
+)
+@settings(max_examples=150, deadline=None)
+def test_feasibility_consistent_with_witness(constraints, x, y):
+    """If a point satisfies all constraints, FM must report feasible."""
+    s = LinearSystem()
+    satisfied = True
+    for a, b, c in constraints:
+        s.add_le({"x": a, "y": b}, c)
+        if a * x + b * y + c > 0:
+            satisfied = False
+    if satisfied:
+        assert s.feasible()
+
+
+@given(st.integers(0, 6), st.integers(0, 6), st.integers(-3, 3))
+@settings(max_examples=100, deadline=None)
+def test_bounds_contain_objective_at_witness(lox, hix, c):
+    if lox > hix:
+        return
+    s = LinearSystem()
+    box(s, "x", lox, hix)
+    lo, hi = s.objective_bounds({"x": 3}, c)
+    for x in range(lox, hix + 1):
+        v = 3 * x + c
+        assert lo <= v <= hi

@@ -1,0 +1,156 @@
+"""Tests for the greedy whole-program decomposition — including the
+reproduction of every Table 1 data decomposition."""
+
+import pytest
+
+from repro.apps import (
+    adi,
+    erlebacher,
+    lu,
+    simple,
+    stencil5,
+    swm,
+    tomcatv,
+    vpenta,
+)
+from repro.compiler import restructure_program
+from repro.decomp.greedy import decompose_program
+from repro.decomp.hpf import distribute_string
+from repro.util.intlinalg import mat_mul
+
+
+def dist(prog, nprocs=8):
+    d = decompose_program(restructure_program(prog), nprocs)
+    out = {}
+    for name in prog.arrays:
+        dd = d.data_for(name)
+        out[name] = (
+            "REPLICATED"
+            if dd is not None and dd.replicated
+            else distribute_string(dd, d.foldings)
+            if dd is not None
+            else None
+        )
+    return d, out
+
+
+class TestTable1:
+    """The 'Data Decompositions' column of Table 1, program by program."""
+
+    def test_simple_figure1(self):
+        d, dd = dist(simple.build(16, time_steps=2))
+        assert dd["A"] == "(BLOCK, *)"
+        assert dd["B"] == "(BLOCK, *)"
+        assert dd["C"] == "(BLOCK, *)"
+
+    def test_vpenta(self):
+        d, dd = dist(vpenta.build(12))
+        assert dd["F"] == "(*, BLOCK, *)"
+        assert dd["A"] == "(*, BLOCK)"
+        assert dd["X"] == "(*, BLOCK)"
+
+    def test_lu(self):
+        d, dd = dist(lu.build(10))
+        assert dd["A"] == "(*, CYCLIC)"
+        assert d.is_pipelined("lu")
+
+    def test_stencil(self):
+        d, dd = dist(stencil5.build(12, time_steps=2))
+        assert dd["A"] == "(BLOCK, BLOCK)"
+        assert dd["B"] == "(BLOCK, BLOCK)"
+        assert d.rank == 2
+
+    def test_adi(self):
+        d, dd = dist(adi.build(10, time_steps=2))
+        assert dd["X"] == "(*, BLOCK)"
+        assert dd["A"] == "(*, BLOCK)"
+        assert dd["B"] == "(*, BLOCK)"
+        assert d.is_pipelined("rowsweep")
+        assert not d.is_pipelined("colsweep")
+
+    def test_erlebacher(self):
+        d, dd = dist(erlebacher.build(6, time_steps=2))
+        assert dd["DUX"] == "(*, *, BLOCK)"
+        assert dd["DUY"] == "(*, *, BLOCK)"
+        assert dd["DUZ"] == "(*, BLOCK, *)"
+        assert dd["U"] == "REPLICATED"
+        assert d.rank == 1
+
+    def test_swm(self):
+        d, dd = dist(swm.build(12, time_steps=2))
+        assert dd["P"] == "(BLOCK, BLOCK)"
+        assert d.rank == 2
+
+    def test_tomcatv(self):
+        d, dd = dist(tomcatv.build(12, time_steps=2))
+        assert dd["AA"] == "(BLOCK, *)"
+        assert dd["X"] == "(BLOCK, *)"
+
+
+class TestInvariants:
+    def test_equation1_holds_where_strict(self):
+        """For non-pipelined nests the final decomposition must satisfy
+        D @ F == C on the linear parts of every write reference."""
+        prog = restructure_program(stencil5.build(12, time_steps=2))
+        d = decompose_program(prog, 8)
+        for nest in prog.nests:
+            for s, st in enumerate(nest.body):
+                cd = d.comp_for(nest.name, s)
+                assert cd is not None
+                depth = st.depth if st.depth is not None else nest.depth
+                af = st.write.access_function(nest.loop_vars[:depth])
+                ddx = d.data_for(st.write.array.name)
+                got = mat_mul(ddx.matrix, [list(r) for r in af.matrix])
+                assert got == [row[:depth] for row in cd.matrix]
+
+    def test_folding_cyclic_only_for_triangular(self):
+        from repro.decomp.model import FoldKind
+
+        d_lu, _ = dist(lu.build(10))
+        assert d_lu.foldings[0].kind is FoldKind.CYCLIC
+        d_st, _ = dist(stencil5.build(12, time_steps=2))
+        assert all(f.kind is FoldKind.BLOCK for f in d_st.foldings)
+
+    def test_notes_record_relaxations(self):
+        d, _ = dist(lu.build(10))
+        assert any("pipeline" in n for n in d.notes)
+
+    def test_rank_independent_of_procs(self):
+        p1 = restructure_program(adi.build(10, time_steps=2))
+        d4 = decompose_program(p1, 4)
+        d16 = decompose_program(p1, 16)
+        assert d4.rank == d16.rank
+        assert {k: v.matrix for k, v in d4.data.items()} == {
+            k: v.matrix for k, v in d16.data.items()
+        }
+
+    def test_no_nest_excluded_in_suite(self):
+        for mod, kwargs in [
+            (simple, dict(n=12, time_steps=2)),
+            (lu, dict(n=8)),
+            (adi, dict(n=8, time_steps=2)),
+            (stencil5, dict(n=10, time_steps=2)),
+            (tomcatv, dict(n=10, time_steps=2)),
+        ]:
+            d = decompose_program(restructure_program(mod.build(**kwargs)), 4)
+            assert d.excluded_nests == []
+
+    def test_serial_nest_excluded(self):
+        """A nest with no parallelism anywhere ends up excluded."""
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder("serial", params={})
+        a = pb.array("A", (16, 16))
+        i, j = pb.vars("I", "J")
+        pb.nest("chain", [("I", 1, 14), ("J", 1, 14)],
+                [pb.assign(a(i, j), [a(i - 1, j), a(i, j - 1), a(i - 1, j - 1)],
+                           None)])
+        d = decompose_program(pb.build(), 4)
+        # both loop directions carry dependences and even a pipeline needs
+        # one parallel direction through owner-computes; rank may be >= 1
+        # via pipelining, but if not, the nest must be excluded rather
+        # than silently serialized.
+        if d.rank == 0:
+            assert "chain" in d.excluded_nests
+        else:
+            assert d.comp_for("chain", 0) is not None

@@ -1,0 +1,92 @@
+"""Tests for the HPF front end (DISTRIBUTE parsing, rendering, ALIGN)."""
+
+import pytest
+
+from repro.decomp.hpf import apply_alignment, distribute_string, parse_distribute
+from repro.decomp.model import DataDecomp, FoldKind, Folding
+
+
+class TestParse:
+    def test_block_star(self):
+        dd, folds = parse_distribute("(BLOCK, *)", "A", 2)
+        assert dd.matrix == [[1, 0]]
+        assert folds[0].kind is FoldKind.BLOCK
+
+    def test_star_cyclic(self):
+        dd, folds = parse_distribute("(*, CYCLIC)", "A", 2)
+        assert dd.matrix == [[0, 1]]
+        assert folds[0].kind is FoldKind.CYCLIC
+
+    def test_two_dims(self):
+        dd, folds = parse_distribute("(BLOCK, BLOCK)", "A", 2)
+        assert dd.matrix == [[1, 0], [0, 1]]
+        assert len(folds) == 2
+
+    def test_block_cyclic(self):
+        dd, folds = parse_distribute("(CYCLIC(4), *)", "A", 2)
+        assert folds[0].kind is FoldKind.BLOCK_CYCLIC
+        assert folds[0].block == 4
+
+    def test_case_insensitive(self):
+        dd, folds = parse_distribute("(block, *)", "A", 2)
+        assert folds[0].kind is FoldKind.BLOCK
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            parse_distribute("(BLOCK, *)", "A", 3)
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            parse_distribute("(FOO, *)", "A", 2)
+
+
+class TestRender:
+    def test_roundtrip(self):
+        for text in ["(BLOCK, *)", "(*, CYCLIC)", "(BLOCK, BLOCK)",
+                     "(*, BLOCK, *)"]:
+            dd, folds = parse_distribute(text, "A")
+            assert distribute_string(dd, folds) == text
+
+    def test_block_cyclic_render(self):
+        dd, folds = parse_distribute("(CYCLIC(2), *)", "A")
+        assert distribute_string(dd, folds) == "(CYCLIC(2), *)"
+
+    def test_replicated(self):
+        dd = DataDecomp("A", [[0, 0]], [0], replicated=True)
+        assert distribute_string(dd, []) == "REPLICATED"
+
+
+class TestAlignment:
+    def test_identity_alignment(self):
+        t, folds = parse_distribute("(BLOCK, *)", "T", 2)
+        a = apply_alignment(t, [[1, 0], [0, 1]], "A")
+        assert a.matrix == t.matrix
+
+    def test_transposed_alignment(self):
+        # ALIGN A(i,j) WITH T(j,i): template dims <- swapped array dims.
+        t, folds = parse_distribute("(BLOCK, *)", "T", 2)
+        a = apply_alignment(t, [[0, 1], [1, 0]], "A")
+        # T's dim 0 distributed; A's dim 1 feeds T dim 0.
+        assert a.matrix == [[0, 1]]
+        assert distribute_string(a, folds) == "(*, BLOCK)"
+
+    def test_replicated_template(self):
+        t = DataDecomp("T", [[0, 0]], [0], replicated=True)
+        a = apply_alignment(t, [[1, 0], [0, 1]], "A")
+        assert a.replicated
+
+    def test_hpf_drives_data_transform(self):
+        """An HPF DISTRIBUTE can feed derive_layout directly (the paper's
+        Section 7 point: HPF directives + caches instead of explicit
+        message passing)."""
+        from repro.datatrans.transform import derive_layout
+        from repro.ir.arrays import ArrayDecl
+
+        dd, folds = parse_distribute("(CYCLIC, *)", "A", 2)
+        ta = derive_layout(ArrayDecl("A", (16, 4)), dd, folds, grid=[4])
+        assert ta.restructured
+        # cyclic elements of one processor are contiguous
+        addrs = sorted(
+            ta.layout.linearize((i, 0)) for i in range(0, 16, 4)
+        )
+        assert addrs[-1] - addrs[0] == len(addrs) - 1

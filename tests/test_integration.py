@@ -1,0 +1,145 @@
+"""End-to-end integration tests: compile + simulate at small scale and
+check the paper's qualitative orderings hold."""
+
+import numpy as np
+import pytest
+
+from repro.apps import adi, lu, simple, stencil5, tomcatv
+from repro.codegen.spmd import Scheme
+from repro.compiler import compile_all, compile_program
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate, speedup_curve
+
+ALL = [Scheme.BASE, Scheme.COMP_DECOMP, Scheme.COMP_DECOMP_DATA]
+
+
+class TestFigure1Pipeline:
+    """The running example, end to end."""
+
+    @pytest.fixture(scope="class")
+    def curves(self):
+        prog = simple.build(n=64, time_steps=4)
+        factory = lambda p: scaled_dash(p, scale=16, word_bytes=4)
+        return speedup_curve(prog, ALL, factory, [1, 8, 32])
+
+    def test_baseline_one(self, curves):
+        for series in curves.values():
+            assert series[0][1] == pytest.approx(1.0, abs=0.05)
+
+    def test_data_transform_beats_comp_decomp(self, curves):
+        cd = dict(curves[Scheme.COMP_DECOMP.value])
+        cdd = dict(curves[Scheme.COMP_DECOMP_DATA.value])
+        assert cdd[32] > cd[32]
+
+    def test_data_transform_scales(self, curves):
+        cdd = dict(curves[Scheme.COMP_DECOMP_DATA.value])
+        assert cdd[32] > cdd[8] > 1.0
+
+
+class TestLuConflictCliff:
+    """Figure 6's 32-processor conflict cliff: comp-decomp's cyclic
+    columns alias pathologically when P divides the cache-aliasing
+    period; the data transformation removes the effect."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        prog = lu.build(n=64)
+        factory = lambda p: scaled_dash(p, scale=16, word_bytes=8)
+        out = {}
+        for scheme in (Scheme.COMP_DECOMP, Scheme.COMP_DECOMP_DATA):
+            for p in (31, 32):
+                spmd = compile_program(prog, scheme, p)
+                out[(scheme, p)] = simulate(spmd, factory(p)).total_time
+        return out
+
+    def test_cliff_in_comp_decomp(self, results):
+        t31 = results[(Scheme.COMP_DECOMP, 31)]
+        t32 = results[(Scheme.COMP_DECOMP, 32)]
+        assert t32 > 1.2 * t31  # 32 procs noticeably worse than 31
+
+    def test_data_transform_stabilizes(self, results):
+        t31 = results[(Scheme.COMP_DECOMP_DATA, 31)]
+        t32 = results[(Scheme.COMP_DECOMP_DATA, 32)]
+        assert abs(t32 - t31) / t31 < 0.25
+
+
+class TestStencilOrdering:
+    """Figure 8: computation decomposition alone (scattered 2-D blocks)
+    loses to BASE; adding the data transformation wins."""
+
+    @pytest.fixture(scope="class")
+    def at32(self):
+        prog = stencil5.build(n=96, time_steps=4)
+        factory = lambda p: scaled_dash(
+            p, scale=32, word_bytes=4, page_bytes=512
+        )
+        curves = speedup_curve(prog, ALL, factory, [32])
+        return {k: v[0][1] for k, v in curves.items()}
+
+    def test_comp_decomp_loses(self, at32):
+        assert at32[Scheme.COMP_DECOMP.value] < at32[Scheme.BASE.value]
+
+    def test_data_transform_recovers(self, at32):
+        assert (
+            at32[Scheme.COMP_DECOMP_DATA.value]
+            > at32[Scheme.COMP_DECOMP.value] * 1.5
+        )
+
+
+class TestAdiOrdering:
+    """Figure 10: the global block-column decomposition (with a
+    pipelined row sweep) beats BASE, and data transformation adds
+    nothing because block columns are already contiguous."""
+
+    @pytest.fixture(scope="class")
+    def at32(self):
+        prog = adi.build(n=64, time_steps=4)
+        factory = lambda p: scaled_dash(p, scale=16, word_bytes=8)
+        curves = speedup_curve(prog, ALL, factory, [32])
+        return {k: v[0][1] for k, v in curves.items()}
+
+    def test_comp_decomp_wins(self, at32):
+        assert at32[Scheme.COMP_DECOMP.value] > at32[Scheme.BASE.value]
+
+    def test_data_transform_is_noop(self, at32):
+        assert at32[Scheme.COMP_DECOMP_DATA.value] == pytest.approx(
+            at32[Scheme.COMP_DECOMP.value], rel=1e-6
+        )
+
+
+class TestTomcatvOrdering:
+    """Figure 13: full optimization roughly doubles BASE."""
+
+    def test_ordering(self):
+        prog = tomcatv.build(n=64, time_steps=4)
+        factory = lambda p: scaled_dash(p, scale=16, word_bytes=8)
+        curves = speedup_curve(
+            prog, [Scheme.BASE, Scheme.COMP_DECOMP_DATA], factory, [32]
+        )
+        base = curves[Scheme.BASE.value][0][1]
+        cdd = curves[Scheme.COMP_DECOMP_DATA.value][0][1]
+        assert cdd > 1.3 * base
+
+
+class TestCompiledArtifactsConsistency:
+    def test_compile_all_consistent_with_individual(self):
+        prog = simple.build(n=16, time_steps=2)
+        cp = compile_all(prog, 4)
+        indiv = compile_program(prog, Scheme.COMP_DECOMP_DATA, 4)
+        assert (
+            cp.comp_decomp_data.transformed["A"].layout.dims
+            == indiv.transformed["A"].layout.dims
+        )
+
+    def test_semantics_invariant_under_schemes(self):
+        """The transformations never change program values — execute the
+        original and restructured programs and compare."""
+        from repro.codegen.executor import default_init, execute_program
+        from repro.compiler import restructure_program
+
+        prog = stencil5.build(n=10, time_steps=2)
+        init = default_init(prog)
+        a = execute_program(prog, init=init)
+        b = execute_program(restructure_program(prog), init=init)
+        for k in a:
+            assert np.allclose(a[k], b[k])

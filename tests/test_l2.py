@@ -1,0 +1,91 @@
+"""Tests for the optional second-level cache."""
+
+import numpy as np
+import pytest
+
+from repro.apps import simple
+from repro.codegen.spmd import Scheme
+from repro.compiler import compile_program
+from repro.machine import dash_machine, scaled_dash
+from repro.machine.cache import CacheConfig
+from repro.machine.coherence import classify_accesses
+from repro.machine.simulate import simulate
+
+
+def tiny(l1=64, l2=256):
+    return (
+        CacheConfig(size_bytes=l1, line_bytes=16),
+        CacheConfig(size_bytes=l2, line_bytes=16),
+    )
+
+
+class TestClassifierL2:
+    def test_l1_conflict_served_by_l2(self):
+        l1, l2 = tiny(32, 128)  # L1: 2 sets; L2: 8 sets
+        proc = np.zeros(4, dtype=np.int64)
+        # lines 0 and 2 conflict in L1 set 0 but live in different L2
+        # sets: the second round of accesses hits in L2.
+        addr = np.array([0, 32, 0, 32])
+        write = np.zeros(4, dtype=bool)
+        c = classify_accesses(proc, addr, write, l1, l2=l2)
+        assert c.hit.tolist() == [False] * 4
+        assert c.l2_hit.tolist() == [False, False, True, True]
+
+    def test_l1_hits_are_not_l2_hits(self):
+        l1, l2 = tiny()
+        proc = np.zeros(2, dtype=np.int64)
+        addr = np.array([0, 0])
+        c = classify_accesses(proc, addr, np.zeros(2, bool), l1, l2=l2)
+        assert c.hit.tolist() == [False, True]
+        assert c.l2_hit.tolist() == [False, False]
+
+    def test_invalidation_kills_both_levels(self):
+        l1, l2 = tiny()
+        proc = np.array([0, 1, 0])
+        addr = np.array([0, 0, 0])
+        write = np.array([False, True, False])
+        c = classify_accesses(proc, addr, write, l1, l2=l2)
+        # the reread is a sharing miss, NOT an L2 hit
+        assert c.true_sharing.tolist() == [False, False, True]
+        assert not c.l2_hit.any()
+
+    def test_no_l2_all_false(self):
+        l1, _ = tiny()
+        proc = np.zeros(3, dtype=np.int64)
+        addr = np.array([0, 64, 0])
+        c = classify_accesses(proc, addr, np.zeros(3, bool), l1)
+        assert not c.l2_hit.any()
+
+
+class TestMachineL2:
+    def test_dash_machine_has_l2(self):
+        m = dash_machine(32)
+        assert m.l2 is not None
+        assert m.l2.size_bytes == 256 * 1024
+
+    def test_with_l2_default_ratio(self):
+        m = scaled_dash(8, scale=16)
+        assert m.l2 is None
+        m2 = m.with_l2()
+        assert m2.l2.size_bytes == 4 * m.cache.size_bytes
+
+    def test_l2_reduces_time(self):
+        prog = simple.build(n=48, time_steps=3)
+        spmd = compile_program(prog, Scheme.BASE, 4)
+        m1 = scaled_dash(4, scale=32, word_bytes=4)
+        m2 = m1.with_l2()
+        t1 = simulate(spmd, m1)
+        t2 = simulate(spmd, m2)
+        assert t2.total_time <= t1.total_time
+        assert t2.miss_breakdown["l2_hits"] > 0
+        # L2 hits are removed from the memory-level miss counts
+        assert (
+            t2.miss_breakdown["local_miss"] + t2.miss_breakdown["remote"]
+            < t1.miss_breakdown["local_miss"] + t1.miss_breakdown["remote"]
+        )
+
+    def test_l2_breakdown_zero_without_l2(self):
+        prog = simple.build(n=16, time_steps=2)
+        spmd = compile_program(prog, Scheme.BASE, 2)
+        res = simulate(spmd, scaled_dash(2, scale=32, word_bytes=4))
+        assert res.miss_breakdown["l2_hits"] == 0

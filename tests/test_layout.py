@@ -1,0 +1,201 @@
+"""Tests for the layout algebra, including the paper's Figure 2/3 data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatrans.layout import DimAtom, Layout
+from repro.datatrans.primitives import index_table, permute, strip_mine, transpose
+
+
+class TestDimAtom:
+    def test_value(self):
+        a = DimAtom(src=0, extent=4, div=3, mod=4)
+        assert a.value(13) == (13 // 3) % 4
+
+    def test_value_no_mod(self):
+        a = DimAtom(src=0, extent=4, div=3)
+        assert a.value(13) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DimAtom(src=0, extent=0)
+        with pytest.raises(ValueError):
+            DimAtom(src=0, extent=4, div=0)
+        with pytest.raises(ValueError):
+            DimAtom(src=0, extent=4, mod=0)
+
+    def test_vectorized_matches_scalar(self):
+        a = DimAtom(src=0, extent=4, div=3, mod=4)
+        xs = np.arange(50)
+        vec = a.value_vec(xs)
+        for x in xs:
+            assert vec[x] == a.value(int(x))
+
+
+class TestIdentityLayout:
+    def test_matches_column_major(self):
+        lay = Layout.identity((4, 6))
+        from repro.ir.arrays import ArrayDecl
+
+        decl = ArrayDecl("A", (4, 6))
+        for i in range(4):
+            for j in range(6):
+                assert lay.linearize((i, j)) == decl.linearize((i, j))
+
+    def test_shape(self):
+        lay = Layout.identity((4, 6))
+        assert lay.dims == (4, 6)
+        assert lay.size == 24
+        assert lay.strides() == (1, 4)
+        assert lay.is_bijective()
+
+    def test_bounds_check(self):
+        lay = Layout.identity((4,))
+        with pytest.raises(IndexError):
+            lay.map_index((4,))
+        with pytest.raises(ValueError):
+            lay.map_index((1, 2))
+
+
+class TestFigure2:
+    """Section 4.1's 12-element example: strip size 3, then transpose."""
+
+    def test_strip_mining_preserves_addresses(self):
+        lay = strip_mine(Layout.identity((12,)), 0, 3)
+        for x in range(12):
+            assert lay.linearize((x,)) == x
+        assert lay.dims == (3, 4)
+
+    def test_strip_mined_indices(self):
+        lay = strip_mine(Layout.identity((12,)), 0, 3)
+        assert lay.map_index((7,)) == (7 % 3, 7 // 3)
+
+    def test_transpose_makes_strided_contiguous(self):
+        lay = transpose(strip_mine(Layout.identity((12,)), 0, 3))
+        # elements 0,3,6,9 (every 3rd) become contiguous
+        addrs = [lay.linearize((x,)) for x in (0, 3, 6, 9)]
+        assert addrs == [0, 1, 2, 3]
+
+    def test_padding_bound(self):
+        # total size < d + strip (Section 4.3)
+        lay = strip_mine(Layout.identity((10,)), 0, 3)
+        assert 10 <= lay.size < 10 + 3
+
+
+class TestFigure3:
+    """The 8x4 array with P=2 under the three distributions."""
+
+    def _derive(self, text):
+        from repro.datatrans.transform import derive_layout
+        from repro.decomp.hpf import parse_distribute
+        from repro.ir.arrays import ArrayDecl
+
+        dd, folds = parse_distribute(text, "A", 2)
+        return derive_layout(ArrayDecl("A", (8, 4)), dd, folds, grid=[2])
+
+    def test_block(self):
+        ta = self._derive("(BLOCK,*)")
+        assert ta.layout.dims == (4, 4, 2)
+        assert ta.layout.map_index((4, 0)) == (0, 0, 1)
+        assert ta.layout.linearize((4, 0)) == 16
+        assert ta.layout.map_index((3, 3)) == (3, 3, 0)
+        assert ta.layout.linearize((3, 3)) == 15
+
+    def test_cyclic(self):
+        ta = self._derive("(CYCLIC,*)")
+        assert ta.layout.dims == (4, 4, 2)
+        assert ta.layout.map_index((1, 0)) == (0, 0, 1)
+        assert ta.layout.linearize((1, 0)) == 16
+        assert ta.layout.map_index((2, 0)) == (1, 0, 0)
+
+    def test_block_cyclic(self):
+        ta = self._derive("(CYCLIC(2),*)")
+        assert ta.layout.dims == (2, 2, 4, 2)
+        # (i1 mod b, i1 div (b P), i2, (i1 div b) mod P)
+        assert ta.layout.map_index((5, 1)) == (1, 1, 1, 0)
+
+    @pytest.mark.parametrize("text", ["(BLOCK,*)", "(CYCLIC,*)", "(CYCLIC(2),*)"])
+    def test_owner_data_contiguous(self, text):
+        ta = self._derive(text)
+        per_owner = {}
+        for i in range(8):
+            for j in range(4):
+                o = ta.owner_coords((i, j))
+                per_owner.setdefault(o, []).append(
+                    ta.layout.linearize((i, j))
+                )
+        for o, addrs in per_owner.items():
+            s = sorted(addrs)
+            assert s[-1] - s[0] == len(s) - 1, (text, o, s)
+
+    def test_index_table_is_figure_shaped(self):
+        ta = self._derive("(BLOCK,*)")
+        table = index_table(ta.layout)
+        assert len(table) == 32
+        assert table[0] == ((0, 0), (0, 0, 0), 0)
+        # column-major enumeration: second entry is (1, 0)
+        assert table[1][0] == (1, 0)
+
+
+class TestRoundTrip:
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_unmap_inverts_map(self, d1, d2, strip):
+        lay = strip_mine(Layout.identity((d1 * strip, d2)), 0, strip)
+        lay = permute(lay, [1, 2, 0])
+        for i in range(d1 * strip):
+            for j in range(d2):
+                assert lay.unmap_index(lay.map_index((i, j))) == (i, j)
+
+    @given(st.integers(2, 12), st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_strip_mine_address_noop(self, d, b):
+        lay = strip_mine(Layout.identity((d,)), 0, b)
+        for x in range(d):
+            assert lay.linearize((x,)) == x
+
+    @given(st.integers(2, 8), st.integers(2, 4), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_bijectivity_after_strip_and_permute(self, d1, d2, b):
+        lay = strip_mine(Layout.identity((d1, d2)), 0, b)
+        lay = permute(lay, list(range(lay.rank))[::-1])
+        assert lay.is_bijective()
+        addrs = set()
+        for i in range(d1):
+            for j in range(d2):
+                a = lay.linearize((i, j))
+                assert a not in addrs
+                addrs.add(a)
+
+    def test_vectorized_linearize(self):
+        lay = transpose(strip_mine(Layout.identity((12, 3)), 0, 4))
+        i = np.repeat(np.arange(12), 3)
+        j = np.tile(np.arange(3), 12)
+        vec = lay.linearize_vec([i, j])
+        for k in range(len(i)):
+            assert vec[k] == lay.linearize((int(i[k]), int(j[k])))
+
+
+class TestPrimitivesErrors:
+    def test_permute_rejects_non_permutation(self):
+        lay = Layout.identity((4, 4))
+        with pytest.raises(ValueError):
+            permute(lay, [0, 0])
+
+    def test_strip_rejects_bad_strip(self):
+        lay = Layout.identity((12,))
+        with pytest.raises(ValueError):
+            strip_mine(lay, 0, 0)
+
+    def test_strip_rejects_nondividing_mod(self):
+        lay = strip_mine(Layout.identity((12,)), 0, 4)
+        # inner atom has mod 4; strip by 3 does not divide it
+        with pytest.raises(ValueError):
+            strip_mine(lay, 0, 3)
+
+    def test_strip_of_stripped_outer_ok(self):
+        lay = strip_mine(Layout.identity((16,)), 0, 4)
+        lay2 = strip_mine(lay, 1, 2)  # strip the outer part
+        for x in range(16):
+            assert lay2.linearize((x,)) == x

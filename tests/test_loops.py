@@ -1,0 +1,108 @@
+"""Tests for loops, statements, nests and iteration helpers."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.expr import Var
+from repro.ir.loops import Loop, LoopNest, Statement
+
+
+def rect_nest(n=4, m=3):
+    pb = ProgramBuilder("t", params={"N": n})
+    a = pb.array("A", (max(n, m), max(n, m)))
+    i, j = pb.vars("I", "J")
+    nest = pb.nest("n", [("I", 0, n - 1), ("J", 0, m - 1)],
+                   [pb.assign(a(i, j), [a(i, j)], lambda x: x)])
+    return pb.build(), nest
+
+
+def triangular_nest(n=6):
+    pb = ProgramBuilder("t", params={"N": n})
+    a = pb.array("A", (n, n))
+    i, j = pb.vars("I", "J")
+    nest = pb.nest("tri", [("I", 0, n - 1), ("J", i + 1, n - 1)],
+                   [pb.assign(a(j, i), [a(j, i)], lambda x: x)])
+    return pb.build(), nest
+
+
+class TestLoop:
+    def test_make_coerces(self):
+        l = Loop.make("I", 0, 7)
+        assert l.lower == 0
+        assert l.upper == 7
+
+    def test_repr(self):
+        assert "DO I" in repr(Loop.make("I", 0, 7))
+
+
+class TestIteration:
+    def test_rectangular_order(self):
+        prog, nest = rect_nest(2, 2)
+        envs = list(nest.iterate(prog.params))
+        coords = [(e["I"], e["J"]) for e in envs]
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_triangular(self):
+        prog, nest = triangular_nest(4)
+        coords = [(e["I"], e["J"]) for e in nest.iterate(prog.params)]
+        assert coords == [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)
+        ]
+
+    def test_count_matches_enumeration(self):
+        for maker in (rect_nest, triangular_nest):
+            prog, nest = maker()
+            assert nest.count_iterations(prog.params) == sum(
+                1 for _ in nest.iterate(prog.params)
+            )
+
+    def test_count_empty(self):
+        pb = ProgramBuilder("t", params={})
+        a = pb.array("A", (4,))
+        i = Var("I")
+        nest = pb.nest("n", [("I", 3, 1)], [pb.assign(a(i), [a(i)], None)])
+        assert nest.count_iterations({}) == 0
+
+    def test_numeric_bounds_rect(self):
+        prog, nest = rect_nest(5, 3)
+        assert nest.numeric_bounds(prog.params) == [(0, 4), (0, 2)]
+
+    def test_numeric_bounds_triangular(self):
+        prog, nest = triangular_nest(6)
+        bounds = nest.numeric_bounds(prog.params)
+        assert bounds[0] == (0, 5)
+        assert bounds[1] == (1, 5)
+
+    def test_numeric_bounds_unbound_raises(self):
+        nest = LoopNest("x", [Loop.make("I", Var("M"), 4)], [])
+        with pytest.raises(ValueError):
+            nest.numeric_bounds({})
+
+
+class TestNestQueries:
+    def test_array_sets(self):
+        pb = ProgramBuilder("t", params={})
+        a = pb.array("A", (4, 4))
+        b = pb.array("B", (4, 4))
+        i, j = pb.vars("I", "J")
+        nest = pb.nest("n", [("I", 0, 3), ("J", 0, 3)],
+                       [pb.assign(a(i, j), [b(i, j), a(i, j)], None)])
+        assert [d.name for d in nest.arrays_written()] == ["A"]
+        assert sorted(d.name for d in nest.arrays_read()) == ["A", "B"]
+        assert sorted(d.name for d in nest.arrays_accessed()) == ["A", "B"]
+        refs = nest.refs_to("A")
+        assert sum(1 for _, w in refs if w) == 1
+        assert sum(1 for _, w in refs if not w) == 1
+
+    def test_statement_depth_default(self):
+        st = Statement(
+            write=None.__class__ if False else ProgramBuilder("x", {})
+            .array("Z", (2, 2))(Var("I"), Var("J")),
+            reads=(),
+        )
+        assert st.depth is None
+
+    def test_loop_vars(self):
+        prog, nest = rect_nest()
+        assert nest.loop_vars == ("I", "J")
+        assert nest.depth == 2

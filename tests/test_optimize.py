@@ -1,0 +1,96 @@
+"""Tests for the Section 4.3 address optimizations."""
+
+from repro.codegen.addrexpr import AAffine, ADiv, AMod, AAdd, AScale
+from repro.codegen.optimize import optimize_ref_address
+from repro.ir.expr import Var
+
+
+def block_address(b, nstride):
+    """The paper's SPMD example: A(mod(I-1,b), J, (I-1)/b) linearized:
+    (I-1) mod b + b*J + b*N*((I-1)/b)."""
+    i = Var("I")
+    return AAdd((
+        AMod(AAffine(i - 1), b),
+        AScale(b, AAffine(Var("J"))),
+        AScale(b * nstride, ADiv(AAffine(i - 1), b)),
+    ))
+
+
+class TestInvariant:
+    def test_within_strip_hoists_everything(self):
+        """The paper's first optimization: inside one processor's strip,
+        (I-1)/b is constant (== myid) and mod is linear."""
+        b = 13
+        addr = block_address(b, 100)
+        # processor 2's range: I in [b*2+1, b*3]
+        rep = optimize_ref_address(addr, "I", (2 * b + 1, 3 * b),
+                                   {"J": (1, 98)})
+        assert rep.naive_per_iter == 2
+        assert rep.optimized_per_iter == 0.0
+        assert all(p.strategy == "invariant" for p in rep.plans)
+        assert rep.per_entry == 2
+
+    def test_loop_invariant_operand(self):
+        addr = AMod(AAffine(Var("J")), 8)
+        rep = optimize_ref_address(addr, "I", (0, 9), {"J": (0, 63)})
+        assert rep.plans[0].strategy == "invariant"
+        assert rep.optimized_per_iter == 0.0
+
+
+class TestPeel:
+    def test_one_boundary_crossing(self):
+        """Second optimization: ranges crossing a strip boundary peel the
+        few crossing iterations."""
+        b = 8
+        addr = block_address(b, 100)
+        # range [5, 12] crosses the boundary at 8 once (for I-1 in [4,11])
+        rep = optimize_ref_address(addr, "I", (5, 12), {"J": (0, 9)})
+        assert rep.optimized_per_iter == 0.0
+        assert all(p.strategy == "peel" for p in rep.plans)
+        assert rep.per_entry == 4  # (1 + crossings) per div/mod node
+
+
+class TestStrengthReduction:
+    def test_papers_example(self):
+        """x = mod(4J + c, 64), y = (4J + c)/64 over a long J range:
+        strength-reduced with carry period 64/4 = 16."""
+        j = Var("J")
+        addr = AAdd((
+            AMod(AAffine(4 * j + 3), 64),
+            AScale(64, ADiv(AAffine(4 * j + 3), 64)),
+        ))
+        rep = optimize_ref_address(addr, "J", (0, 999), {})
+        assert all(p.strategy == "strength" for p in rep.plans)
+        for p in rep.plans:
+            assert abs(p.per_iter - 1 / 16) < 1e-12
+
+    def test_dynamic_counts(self):
+        j = Var("J")
+        addr = AMod(AAffine(4 * j), 64)
+        rep = optimize_ref_address(addr, "J", (0, 999), {})
+        naive, opt = rep.dynamic_counts(trips=1000, entries=10)
+        assert naive == 10000
+        assert opt < naive / 10  # order-of-magnitude reduction
+
+    def test_short_trip_no_carries(self):
+        """When the loop is shorter than the carry period, no carries
+        fire at all."""
+        j = Var("J")
+        addr = AMod(AAffine(j), 1000)
+        rep = optimize_ref_address(addr, "J", (0, 5), {})
+        assert rep.optimized_per_iter == 0.0
+
+
+class TestReporting:
+    def test_plan_details_present(self):
+        b = 4
+        addr = block_address(b, 10)
+        rep = optimize_ref_address(addr, "I", (1, 4), {"J": (0, 9)})
+        assert all(p.detail for p in rep.plans)
+
+    def test_unknown_variable_raises(self):
+        import pytest
+
+        addr = AMod(AAffine(Var("Q") + Var("I")), 8)
+        with pytest.raises(ValueError):
+            optimize_ref_address(addr, "I", (0, 3), {})

@@ -1,0 +1,168 @@
+"""Whole-pipeline property tests over randomly generated affine programs.
+
+A small generator produces random (but valid) two-nest affine programs:
+2-D arrays, offset/transposed/row-column accesses, optional carried
+dependences.  For every generated program the pipeline must uphold:
+
+* restructuring preserves semantics (executor values identical);
+* the decomposition satisfies Equation 1 on every write reference;
+* derived layouts are bijections and every owner's partition is
+  contiguous;
+* SPMD ownership partitions the iteration space (each iteration owned
+  by exactly one valid processor);
+* the traced access count equals statements x iterations x references.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.executor import default_init, execute_program
+from repro.codegen.spmd import Scheme, generate_spmd
+from repro.compiler import compile_program, restructure_program
+from repro.decomp.greedy import decompose_program
+from repro.ir.builder import ProgramBuilder
+from repro.machine.trace import program_traces
+from repro.util.intlinalg import mat_mul
+
+N = 8
+
+# access patterns: (f(i, j) -> (expr0, expr1), needs_interior_bounds)
+PATTERNS = [
+    lambda i, j: (i, j),
+    lambda i, j: (j, i),
+    lambda i, j: (i - 1, j),
+    lambda i, j: (i, j - 1),
+    lambda i, j: (i + 1, j + 1),
+    lambda i, j: (j - 1, i),
+]
+
+
+@st.composite
+def random_program(draw):
+    pb = ProgramBuilder("rand", params={"N": N}, time_steps=2)
+    arrays = [
+        pb.array(name, (N, N))
+        for name in ("A", "B", "C")[: draw(st.integers(2, 3))]
+    ]
+    i, j = pb.vars("I", "J")
+    n_nests = draw(st.integers(1, 2))
+    for k in range(n_nests):
+        wr = arrays[draw(st.integers(0, len(arrays) - 1))]
+        w_pat = PATTERNS[draw(st.integers(0, 1))]  # writes stay simple
+        reads = []
+        for _ in range(draw(st.integers(1, 3))):
+            ra = arrays[draw(st.integers(0, len(arrays) - 1))]
+            rp = PATTERNS[draw(st.integers(0, len(PATTERNS) - 1))]
+            reads.append(ra(*rp(i, j)))
+        # interior bounds keep every pattern in range
+        nest = pb.nest(
+            f"nest{k}",
+            [("I", 1, N - 2), ("J", 1, N - 2)],
+            [pb.assign(wr(*w_pat(i, j)), reads,
+                       lambda *vs: sum(vs) * 0.25)],
+        )
+    return pb.build()
+
+
+class TestSemanticsPreserved:
+    @given(random_program())
+    @settings(max_examples=25, deadline=None)
+    def test_restructuring_preserves_values(self, prog):
+        init = default_init(prog)
+        a = execute_program(prog, init=init)
+        b = execute_program(restructure_program(prog), init=init)
+        for name in a:
+            assert np.allclose(a[name], b[name]), name
+
+
+class TestDecompositionInvariant:
+    @given(random_program())
+    @settings(max_examples=25, deadline=None)
+    def test_equation1_on_writes(self, prog):
+        rprog = restructure_program(prog)
+        decomp = decompose_program(rprog, 4)
+        for nest in rprog.nests:
+            if nest.name in decomp.excluded_nests:
+                continue
+            for s, stmt in enumerate(nest.body):
+                cd = decomp.comp_for(nest.name, s)
+                if cd is None or not cd.matrix:
+                    continue
+                dd = decomp.data_for(stmt.write.array.name)
+                if dd is None or dd.replicated or not dd.matrix:
+                    continue
+                af = stmt.write.access_function(nest.loop_vars)
+                got = mat_mul(dd.matrix, [list(r) for r in af.matrix])
+                assert got == cd.matrix
+
+
+class TestLayoutInvariants:
+    @given(random_program(), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_bijective_and_contiguous(self, prog, nprocs):
+        spmd = compile_program(prog, Scheme.COMP_DECOMP_DATA, nprocs)
+        for name, ta in spmd.transformed.items():
+            assert ta.layout.is_bijective(), name
+            if not ta.owner_specs:
+                continue
+            per = {}
+            for i in range(N):
+                for j in range(N):
+                    per.setdefault(ta.owner_coords((i, j)), []).append(
+                        ta.layout.linearize((i, j))
+                    )
+            pad = ta.layout.size - ta.decl.size
+            for o, addrs in per.items():
+                s = sorted(addrs)
+                assert s[-1] - s[0] + 1 - len(s) <= pad, (name, o)
+
+
+class TestSpmdInvariants:
+    @given(random_program(), st.integers(1, 6),
+           st.sampled_from(list(Scheme)))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_counts(self, prog, nprocs, scheme):
+        spmd = compile_program(prog, scheme, nprocs)
+        _, traces = program_traces(spmd)
+        for phase, trace in zip(spmd.phases, traces):
+            nest = phase.nest
+            iters = nest.count_iterations(prog.params)
+            # every generated statement is full depth and executes once
+            # per iteration, touching (1 + reads) locations
+            per_iter_refs = sum(1 + len(s.reads) for s in nest.body)
+            expected = iters * per_iter_refs
+            assert trace.n_accesses == expected
+            assert trace.proc.min() >= 0
+            assert trace.proc.max() < nprocs
+
+    @given(random_program(), st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_ownership_partitions_iterations(self, prog, nprocs):
+        from repro.machine.trace import _owner_ids, enumerate_iterations
+
+        spmd = compile_program(prog, Scheme.COMP_DECOMP, nprocs)
+        for phase in spmd.phases:
+            nest = phase.nest
+            cols, n = enumerate_iterations(nest, prog.params)
+            owners = _owner_ids(
+                phase.owners[0], nest, cols, n, prog.params, nprocs,
+                spmd.grid,
+            )
+            assert len(owners) == nest.count_iterations(prog.params)
+            assert owners.min() >= 0 and owners.max() < nprocs
+
+
+class TestUniprocessorEquivalence:
+    @given(random_program())
+    @settings(max_examples=10, deadline=None)
+    def test_schemes_identical_at_p1(self, prog):
+        from repro.machine import scaled_dash
+        from repro.machine.simulate import simulate
+
+        machine = scaled_dash(1, scale=32, word_bytes=8)
+        times = set()
+        for scheme in Scheme:
+            res = simulate(compile_program(prog, scheme, 1), machine)
+            times.add(round(res.total_time, 6))
+        assert len(times) == 1

@@ -1,0 +1,58 @@
+"""Tests for result formatting."""
+
+from repro.report import (
+    Table1Row,
+    at_procs,
+    classify_critical,
+    format_speedup_table,
+    format_table1,
+    markdown_speedup_table,
+)
+
+CURVES = {
+    "base": [(1, 1.0), (4, 3.5), (32, 10.0)],
+    "comp decomp + data transform": [(1, 1.0), (4, 3.9), (32, 25.0)],
+}
+
+
+class TestFormatting:
+    def test_fixed_width(self):
+        text = format_speedup_table(CURVES, title="demo")
+        assert "demo" in text
+        assert "base" in text
+        assert "25.00" in text
+
+    def test_markdown(self):
+        md = markdown_speedup_table(CURVES)
+        assert md.startswith("| scheme |")
+        assert "P=32" in md
+        assert "| base |" in md
+
+    def test_at_procs(self):
+        assert at_procs(CURVES["base"], 4) == 3.5
+        assert at_procs(CURVES["base"], 7) is None
+
+
+class TestTable1:
+    def test_classify_critical(self):
+        comp, data = classify_critical(base=4.2, cd=5.0, cdd=14.3)
+        assert comp and data
+        comp, data = classify_critical(base=8.0, cd=22.9, cdd=22.9)
+        assert comp and not data
+        # stencil-shaped: cd loses to base but the combination wins big
+        comp, data = classify_critical(base=15.6, cd=10.0, cdd=28.5)
+        assert comp and data
+        # nothing helps much
+        comp, data = classify_critical(base=10.0, cd=10.2, cdd=10.5)
+        assert not comp and not data
+
+    def test_format(self):
+        rows = [
+            Table1Row("lu", 19.5, 33.5, True, True, ["A: (*, CYCLIC)"]),
+            Table1Row("adi", 8.0, 22.9, True, False, ["X: (*, BLOCK)"]),
+        ]
+        text = format_table1(rows)
+        assert "lu" in text and "33.5" in text
+        assert "(*, CYCLIC)" in text
+        lines = text.splitlines()
+        assert len(lines) == 4

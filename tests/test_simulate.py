@@ -1,0 +1,104 @@
+"""Tests for the whole-program simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.apps import simple
+from repro.codegen.spmd import Scheme
+from repro.compiler import compile_program
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate, simulate_scheme, speedup_curve
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return simple.build(n=32, time_steps=3)
+
+
+def machine(p):
+    return scaled_dash(p, scale=32, word_bytes=4)
+
+
+class TestSimulate:
+    def test_uniprocessor_schemes_agree(self, prog):
+        """At P=1 all three configurations execute identical access
+        streams, so their times must match exactly."""
+        times = []
+        for scheme in (Scheme.BASE, Scheme.COMP_DECOMP,
+                       Scheme.COMP_DECOMP_DATA):
+            spmd = compile_program(prog, scheme, 1)
+            times.append(simulate(spmd, machine(1)).total_time)
+        assert times[0] == pytest.approx(times[1])
+        assert times[0] == pytest.approx(times[2])
+
+    def test_positive_time_and_counts(self, prog):
+        res = simulate(compile_program(prog, Scheme.BASE, 4), machine(4))
+        assert res.total_time > 0
+        assert res.n_accesses == prog.total_iterations() * 0 + res.n_accesses
+        assert set(res.miss_breakdown) == {
+            "cold", "replacement", "true_sharing", "false_sharing",
+            "upgrade", "l2_hits", "remote", "local_miss",
+        }
+
+    def test_rounds(self, prog):
+        res = simulate(compile_program(prog, Scheme.BASE, 2), machine(2))
+        cold_round, steady_round = res.round_times
+        assert cold_round >= steady_round  # warm caches help
+        expected = cold_round + (prog.time_steps - 1) * steady_round
+        assert res.total_time == pytest.approx(expected)
+
+    def test_single_time_step_single_round(self):
+        p1 = simple.build(n=16, time_steps=1)
+        res = simulate(compile_program(p1, Scheme.BASE, 2), machine(2))
+        assert res.round_times[0] == pytest.approx(res.round_times[1])
+
+    def test_no_remote_misses_on_one_cluster(self, prog):
+        """With <= cluster_size processors everything is one cluster, so
+        no miss can be remote."""
+        res = simulate(compile_program(prog, Scheme.BASE, 4), machine(4))
+        assert res.miss_breakdown["remote"] == 0
+
+    def test_phase_costs_cover_nests(self, prog):
+        res = simulate(compile_program(prog, Scheme.BASE, 4), machine(4))
+        assert [pc.nest_name for pc in res.phase_costs] == ["add", "relax"]
+
+    def test_summary_text(self, prog):
+        res = simulate(compile_program(prog, Scheme.BASE, 4), machine(4))
+        assert "base" in res.summary()
+        assert "P=4" in res.summary()
+
+    def test_simulate_scheme_shortcut(self, prog):
+        res = simulate_scheme(prog, Scheme.COMP_DECOMP, machine(4))
+        assert res.scheme == Scheme.COMP_DECOMP.value
+
+
+class TestSpeedupCurve:
+    def test_baseline_normalized(self, prog):
+        curves = speedup_curve(prog, [Scheme.BASE], machine, [1, 2])
+        series = curves[Scheme.BASE.value]
+        assert series[0] == (1, pytest.approx(1.0))
+        assert series[1][1] > 1.0
+
+    def test_all_schemes_present(self, prog):
+        curves = speedup_curve(
+            prog,
+            [Scheme.BASE, Scheme.COMP_DECOMP, Scheme.COMP_DECOMP_DATA],
+            machine,
+            [1, 4],
+        )
+        assert len(curves) == 3
+        for series in curves.values():
+            assert [p for p, _ in series] == [1, 4]
+
+    def test_figure1_ordering_at_scale(self, prog):
+        """The Figure-1 qualitative result: with data transformation the
+        program is at least as fast as comp-decomp alone at high P."""
+        curves = speedup_curve(
+            prog,
+            [Scheme.COMP_DECOMP, Scheme.COMP_DECOMP_DATA],
+            machine,
+            [8],
+        )
+        cd = curves[Scheme.COMP_DECOMP.value][0][1]
+        cdd = curves[Scheme.COMP_DECOMP_DATA.value][0][1]
+        assert cdd >= cd * 0.95

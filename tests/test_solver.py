@@ -1,0 +1,171 @@
+"""Tests for the Equation-1 solver."""
+
+from repro.decomp.solver import (
+    RefConstraint,
+    StmtEntry,
+    achievable_entry_ranks,
+    solve_group,
+)
+from repro.util.intlinalg import mat_mul
+
+
+def entry(nest, stmt, depth, refs, obstructions=(), weight=1,
+          use_reads=True, use_parallel=True):
+    return StmtEntry(
+        nest=nest, stmt=stmt, depth=depth, refs=refs,
+        obstructions=[list(o) for o in obstructions], weight=weight,
+        use_reads=use_reads, use_parallel=use_parallel,
+    )
+
+
+def check_equation1(sol, e):
+    """D_x F == C_s for every constrained reference of the entry."""
+    c = sol.comp_matrices[(e.nest, e.stmt)]
+    for ref in e.refs:
+        if not ref.is_write and not e.use_reads:
+            continue
+        if ref.array in sol.replicated:
+            continue
+        d = sol.data_matrices[ref.array]
+        if not d:
+            continue
+        assert mat_mul(d, ref.matrix) == c, (ref.array, d, c)
+
+
+class TestSingleNest:
+    def test_identity_access_full_rank(self):
+        # A(i,j) written, no reads: communication-free, so the solver
+        # stays 1-D (no boundary exchange to amortize with a 2-D grid).
+        e = entry("n", 0, 2, [RefConstraint("A", [[1, 0], [0, 1]], True)])
+        sol = solve_group([e], {"A": 2})
+        assert sol.rank == 1
+        check_equation1(sol, e)
+
+    def test_obstruction_limits_rank(self):
+        # dependence along i: C must kill e_0.
+        e = entry(
+            "n", 0, 2,
+            [RefConstraint("A", [[1, 0], [0, 1]], True)],
+            obstructions=[[1, 0]],
+        )
+        sol = solve_group([e], {"A": 2})
+        assert sol.rank == 1
+        c = sol.comp_matrices[("n", 0)]
+        assert c[0][0] == 0  # row kills the carried direction
+        check_equation1(sol, e)
+
+    def test_infeasible_gives_rank0(self):
+        e = entry(
+            "n", 0, 2,
+            [RefConstraint("A", [[1, 0], [0, 1]], True)],
+            obstructions=[[1, 0], [0, 1]],
+        )
+        sol = solve_group([e], {"A": 2})
+        assert sol.rank == 0
+
+    def test_transposed_refs_force_alignment(self):
+        # A(i,j) and A(j,i) both accessed: D must be symmetric-compatible;
+        # with reads on, the only solutions map i+j-like rows; the solver
+        # must still satisfy Equation 1 exactly.
+        e = entry(
+            "n", 0, 2,
+            [
+                RefConstraint("A", [[1, 0], [0, 1]], True),
+                RefConstraint("A", [[0, 1], [1, 0]], False),
+            ],
+        )
+        sol = solve_group([e], {"A": 2})
+        check_equation1(sol, e)
+
+
+class TestCrossNest:
+    def test_shared_array_couples_nests(self):
+        # nest1 writes A(i,j); nest2 writes A(j,i): their C's must be
+        # compatible through the single D_A.
+        e1 = entry("n1", 0, 2, [RefConstraint("A", [[1, 0], [0, 1]], True)])
+        e2 = entry("n2", 0, 2, [RefConstraint("A", [[0, 1], [1, 0]], True)])
+        sol = solve_group([e1, e2], {"A": 2})
+        assert sol.rank >= 1
+        check_equation1(sol, e1)
+        check_equation1(sol, e2)
+
+    def test_achievable_ranks(self):
+        e1 = entry(
+            "n1", 0, 2, [RefConstraint("A", [[1, 0], [0, 1]], True)],
+            obstructions=[[1, 0]],
+        )
+        ranks = achievable_entry_ranks([e1], {"A": 2})
+        assert ranks[("n1", 0)] == 1
+
+    def test_replicated_array_unconstrains(self):
+        # B read with a conflicting access would force rank 0; replication
+        # removes the constraint.
+        e = entry(
+            "n", 0, 2,
+            [
+                RefConstraint("A", [[1, 0], [0, 1]], True),
+                RefConstraint("B", [[0, 0], [0, 0]], False),
+            ],
+        )
+        sol = solve_group([e], {"A": 2, "B": 2}, replicated={"B"})
+        assert sol.rank >= 1
+        assert "B" in sol.replicated
+
+    def test_owner_computes_ignores_reads(self):
+        e = entry(
+            "n", 0, 2,
+            [
+                RefConstraint("A", [[1, 0], [0, 1]], True),
+                # read that would force D_A = 0 if honoured:
+                RefConstraint("A", [[0, 0], [0, 0]], False),
+            ],
+            use_reads=False,
+        )
+        sol = solve_group([e], {"A": 2})
+        assert sol.rank >= 1
+
+
+class TestComponents:
+    def test_independent_components_merge_dims(self):
+        # Two disjoint nest/array pairs: each rank 1; the merged space
+        # must still be rank 1 with both active in dimension 0.
+        e1 = entry(
+            "n1", 0, 2, [RefConstraint("A", [[1, 0], [0, 1]], True)],
+            obstructions=[[1, 0]],
+        )
+        e2 = entry(
+            "n2", 0, 2, [RefConstraint("B", [[1, 0], [0, 1]], True)],
+            obstructions=[[0, 1]],
+        )
+        sol = solve_group([e1, e2], {"A": 2, "B": 2})
+        assert sol.rank == 1
+        c1 = sol.comp_matrices[("n1", 0)]
+        c2 = sol.comp_matrices[("n2", 0)]
+        assert any(any(row) for row in c1)
+        assert any(any(row) for row in c2)
+
+    def test_boundary_comm_enables_second_dim(self):
+        # A stencil-like read with offset (1,0): boundary communication
+        # exists, so the second dimension is taken.
+        e = entry(
+            "n", 0, 2,
+            [
+                RefConstraint("A", [[1, 0], [0, 1]], True, offset=[0, 0]),
+                RefConstraint("A", [[1, 0], [0, 1]], False, offset=[1, 0]),
+                RefConstraint("A", [[1, 0], [0, 1]], False, offset=[0, 1]),
+            ],
+        )
+        sol = solve_group([e], {"A": 2})
+        assert sol.rank == 2
+
+    def test_no_comm_stays_1d(self):
+        # Perfectly local accesses (offset 0): no reason for a 2-D grid.
+        e = entry(
+            "n", 0, 2,
+            [
+                RefConstraint("A", [[1, 0], [0, 1]], True, offset=[0, 0]),
+                RefConstraint("A", [[1, 0], [0, 1]], False, offset=[0, 0]),
+            ],
+        )
+        sol = solve_group([e], {"A": 2})
+        assert sol.rank == 1

@@ -1,0 +1,152 @@
+"""Tests for SPMD plan generation: ownership, synchronization, phases."""
+
+import pytest
+
+from repro.apps import adi, lu, simple, stencil5
+from repro.codegen.spmd import Scheme, SyncKind, generate_spmd
+from repro.compiler import compile_program, restructure_program
+from repro.decomp.greedy import decompose_program
+from repro.machine.trace import enumerate_iterations, _owner_ids
+import numpy as np
+
+
+def owners_for(spmd, phase_idx, stmt_idx):
+    phase = spmd.phases[phase_idx]
+    nest = phase.nest
+    st = nest.body[stmt_idx]
+    depth = st.depth if st.depth is not None else nest.depth
+    cols, n = enumerate_iterations(nest, spmd.program.params, depth)
+    return _owner_ids(
+        phase.owners[stmt_idx], nest, cols, n, spmd.program.params,
+        spmd.nprocs, spmd.grid,
+    )
+
+
+class TestBase:
+    def test_every_iteration_owned_once(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 4)
+        for k, phase in enumerate(spmd.phases):
+            o = owners_for(spmd, k, 0)
+            assert len(o) == phase.nest.count_iterations(
+                figure1_program.params
+            )
+            assert o.min() >= 0 and o.max() < 4
+
+    def test_block_partition_balanced(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 4)
+        o = owners_for(spmd, 0, 0)
+        counts = np.bincount(o, minlength=4)
+        assert counts.max() - counts.min() <= counts.max() // 2
+
+    def test_barriers(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 4)
+        assert all(p.sync_after is SyncKind.BARRIER for p in spmd.phases)
+
+    def test_lu_barrier_per_outer_iteration(self, lu_program):
+        spmd = compile_program(lu_program, Scheme.BASE, 4)
+        n = lu_program.params["N"]
+        # parallel level is I2 (level 1): one barrier per I1 value
+        assert spmd.phases[0].barriers_per_execution == n
+
+    def test_serial_nest(self):
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder("t", params={})
+        a = pb.array("A", (8, 8))
+        i, j = pb.vars("I", "J")
+        pb.nest("chain", [("I", 1, 7), ("J", 1, 7)],
+                [pb.assign(a(i, j),
+                           [a(i - 1, j), a(i, j - 1), a(i - 1, j - 1)],
+                           None)])
+        spmd = compile_program(pb.build(), Scheme.BASE, 4)
+        o = owners_for(spmd, 0, 0)
+        assert (o == 0).all()
+
+    def test_layouts_untouched(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 4)
+        assert all(not t.restructured for t in spmd.transformed.values())
+
+
+class TestDecompSchemes:
+    def test_partition_property(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.COMP_DECOMP_DATA, 4)
+        for k, phase in enumerate(spmd.phases):
+            for s in range(len(phase.nest.body)):
+                o = owners_for(spmd, k, s)
+                assert o.min() >= 0 and o.max() < 4
+
+    def test_sync_none_when_local(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.COMP_DECOMP, 4)
+        relax = next(p for p in spmd.phases if p.nest.name == "relax")
+        assert relax.sync_after is SyncKind.NONE
+        assert relax.all_reads_local
+
+    def test_stencil_neighbor_sync(self):
+        prog = stencil5.build(12, time_steps=2)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP, 4)
+        update = next(p for p in spmd.phases if p.nest.name == "update")
+        assert update.sync_after is SyncKind.NEIGHBOR
+
+    def test_adi_pipeline(self):
+        prog = adi.build(10, time_steps=2)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP, 4)
+        row = next(p for p in spmd.phases if p.nest.name == "rowsweep")
+        col = next(p for p in spmd.phases if p.nest.name == "colsweep")
+        assert row.sync_after is SyncKind.PIPELINE
+        assert row.pipelined
+        assert row.seq_steps == 10  # the sequential I2 range (0..N-1)
+        assert not col.pipelined
+
+    def test_data_scheme_restructures(self):
+        prog = lu.build(8)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP_DATA, 4)
+        assert spmd.transformed["A"].restructured
+        spmd2 = compile_program(prog, Scheme.COMP_DECOMP, 4)
+        assert not spmd2.transformed["A"].restructured
+        # but owner information exists in both
+        assert spmd2.transformed["A"].owner_specs
+
+    def test_grid_matches_rank(self):
+        prog = stencil5.build(12, time_steps=2)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP, 8)
+        assert spmd.grid == (4, 2)
+
+    def test_same_decomposition_same_owners_across_schemes(self, figure1_program):
+        rprog = restructure_program(figure1_program)
+        d = decompose_program(rprog, 4)
+        s1 = compile_program(figure1_program, Scheme.COMP_DECOMP, 4, decomp=d)
+        s2 = compile_program(figure1_program, Scheme.COMP_DECOMP_DATA, 4,
+                             decomp=d)
+        for k in range(len(s1.phases)):
+            o1 = owners_for(s1, k, 0)
+            o2 = owners_for(s2, k, 0)
+            assert np.array_equal(o1, o2)
+
+    def test_requires_decomp(self, figure1_program):
+        from repro.codegen.spmd import generate_spmd
+
+        with pytest.raises(ValueError):
+            generate_spmd(figure1_program, Scheme.COMP_DECOMP, 4)
+
+
+class TestOwnerVectorization:
+    def test_affine_owner_matches_model(self):
+        """Vectorized owner ids agree with the scalar CompDecomp +
+        folding path."""
+        from repro.decomp.folding import fold_owner, linearize_grid
+
+        prog = restructure_program(stencil5.build(12, time_steps=2))
+        d = decompose_program(prog, 8)
+        spmd = generate_spmd(prog, Scheme.COMP_DECOMP, 8, decomp=d)
+        phase = next(p for p in spmd.phases if p.nest.name == "update")
+        nest = phase.nest
+        cols, n = enumerate_iterations(nest, prog.params, nest.depth)
+        o = _owner_ids(phase.owners[0], nest, cols, n, prog.params, 8,
+                       spmd.grid)
+        cd = d.comp_for(nest.name, 0)
+        plan = phase.owners[0]
+        for t in range(0, n, 7):
+            it = [int(cols[v][t]) for v in nest.loop_vars]
+            virt = cd.virtual_proc(it)
+            coords = fold_owner(virt, plan.extents, d.foldings, spmd.grid)
+            assert o[t] == linearize_grid(coords, spmd.grid)

@@ -1,0 +1,156 @@
+"""Tests for vectorized iteration enumeration and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import lu, simple, stencil5
+from repro.codegen.spmd import Scheme
+from repro.compiler import compile_program
+from repro.machine.trace import (
+    AddressSpace,
+    enumerate_iterations,
+    phase_trace,
+    program_traces,
+)
+
+
+class TestEnumerate:
+    def test_rectangular_matches_iterate(self, figure1_program):
+        nest = figure1_program.nest("add")
+        cols, n = enumerate_iterations(nest, figure1_program.params)
+        envs = list(nest.iterate(figure1_program.params))
+        assert n == len(envs)
+        for t, env in enumerate(envs):
+            for v in nest.loop_vars:
+                assert cols[v][t] == env[v]
+
+    def test_triangular_matches_iterate(self, lu_program):
+        nest = lu_program.nests[0]
+        cols, n = enumerate_iterations(nest, lu_program.params)
+        envs = list(nest.iterate(lu_program.params))
+        assert n == len(envs)
+        for t, env in enumerate(envs):
+            for v in nest.loop_vars:
+                assert cols[v][t] == env[v]
+
+    def test_partial_depth(self, lu_program):
+        nest = lu_program.nests[0]
+        cols, n = enumerate_iterations(nest, lu_program.params, depth=2)
+        n_expected = sum(1 for _ in nest.iterate(lu_program.params))
+        # depth-2 enumeration is the (I1, I2) prefix space
+        n2 = 0
+        seen = set()
+        for env in nest.iterate(lu_program.params):
+            seen.add((env["I1"], env["I2"]))
+        assert n == len(seen)
+
+    def test_empty_range(self):
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder("t", params={})
+        a = pb.array("A", (4,))
+        (i,) = pb.vars("I")
+        nest = pb.nest("n", [("I", 2, 1)], [pb.assign(a(i), [a(i)], None)])
+        cols, n = enumerate_iterations(nest, {})
+        assert n == 0
+
+
+class TestAddressSpace:
+    def test_page_aligned_bases(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 2)
+        space = AddressSpace.build(spmd.transformed, 2, page_bytes=256)
+        for base in space.bases.values():
+            assert base % 256 == 0
+
+    def test_replicated_per_proc_copies(self):
+        from repro.apps import erlebacher
+
+        prog = erlebacher.build(6, time_steps=2)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP, 4)
+        space = AddressSpace.build(spmd.transformed, 4, page_bytes=256)
+        assert "U" in space.replicated_stride
+        stride = space.replicated_stride["U"]
+        assert stride >= spmd.transformed["U"].nbytes
+
+    def test_no_overlap(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 2)
+        space = AddressSpace.build(spmd.transformed, 2, page_bytes=64)
+        ranges = []
+        for name, ta in spmd.transformed.items():
+            ranges.append((space.bases[name],
+                           space.bases[name] + ta.nbytes))
+        ranges.sort()
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 <= b0
+
+
+class TestPhaseTrace:
+    def test_addresses_match_layout(self, figure1_program):
+        """Every traced address must equal base + element_size * the
+        layout's linearization of the reference's indices."""
+        spmd = compile_program(figure1_program, Scheme.COMP_DECOMP_DATA, 4)
+        space, traces = program_traces(spmd)
+        t = traces[1]  # relax
+        nest = spmd.phases[1].nest
+        # reconstruct expected addresses serially
+        expected = []
+        for env in nest.iterate(figure1_program.params):
+            st = nest.body[0]
+            for ref in list(st.reads) + [st.write]:
+                ta = spmd.transformed[ref.array.name]
+                idx = ref.index_at(env)
+                expected.append(
+                    space.bases[ref.array.name]
+                    + ta.layout.linearize(idx) * ta.decl.element_size
+                )
+        assert len(expected) == t.n_accesses
+        assert sorted(expected) == sorted(t.addr.tolist())
+
+    def test_program_order_keys_sorted(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 4)
+        _, traces = program_traces(spmd)
+        for t in traces:
+            assert (np.diff(t.key) >= 0).all()
+
+    def test_reads_precede_write_within_statement(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 1)
+        _, traces = program_traces(spmd)
+        t = traces[1]
+        # per group of 4 accesses (3 reads + 1 write) the write is last
+        writes = t.write.reshape(-1, 4)
+        assert (writes[:, :3] == False).all()  # noqa: E712
+        assert (writes[:, 3] == True).all()  # noqa: E712
+
+    def test_write_flags_counts(self, figure1_program):
+        spmd = compile_program(figure1_program, Scheme.BASE, 2)
+        _, traces = program_traces(spmd)
+        n = figure1_program.params["N"]
+        add = traces[0]
+        assert int(add.write.sum()) == n * n
+        assert add.n_accesses == 3 * n * n
+
+    def test_imperfect_nest_counts(self, lu_program):
+        spmd = compile_program(lu_program, Scheme.BASE, 2)
+        _, traces = program_traces(spmd)
+        t = traces[0]
+        n = lu_program.params["N"]
+        s1_insts = n * (n - 1) // 2
+        s2_insts = sum(
+            (n - 1 - i1) ** 2 for i1 in range(n)
+        )
+        assert t.n_accesses == 3 * s1_insts + 4 * s2_insts
+
+    def test_replicated_addresses_disjoint_per_proc(self):
+        from repro.apps import erlebacher
+
+        prog = erlebacher.build(6, time_steps=2)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP, 4)
+        space, traces = program_traces(spmd)
+        ubase = space.bases["U"]
+        stride = space.replicated_stride["U"]
+        for t in traces:
+            mask = (t.addr >= ubase) & (t.addr < ubase + 4 * stride)
+            if not mask.any():
+                continue
+            copy_idx = (t.addr[mask] - ubase) // stride
+            assert np.array_equal(copy_idx, t.proc[mask])

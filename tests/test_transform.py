@@ -1,0 +1,167 @@
+"""Tests for the Section 4.2 layout-derivation algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatrans.transform import (
+    OwnerSpec,
+    TransformedArray,
+    derive_layout,
+    identity_transform,
+)
+from repro.decomp.hpf import parse_distribute
+from repro.decomp.model import DataDecomp, FoldKind, Folding
+from repro.ir.arrays import ArrayDecl
+
+
+def derive(dims, dist, grid, restructure=True, element_size=8):
+    dd, folds = parse_distribute(dist, "A", len(dims))
+    return derive_layout(
+        ArrayDecl("A", tuple(dims), element_size), dd, folds, grid,
+        restructure=restructure,
+    )
+
+
+class TestOwnerSpec:
+    def test_block(self):
+        s = OwnerSpec(0, 0, div=3, mod=None, nproc=4)
+        assert [s.owner(x) for x in (0, 2, 3, 11)] == [0, 0, 1, 3]
+
+    def test_clamp_padding(self):
+        s = OwnerSpec(0, 0, div=3, mod=None, nproc=3)
+        assert s.owner(8) == 2  # 8//3 == 2, in range
+
+    def test_cyclic(self):
+        s = OwnerSpec(0, 0, div=1, mod=4, nproc=4)
+        assert [s.owner(x) for x in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_vectorized(self):
+        import numpy as np
+
+        s = OwnerSpec(0, 0, div=2, mod=3, nproc=3)
+        xs = np.arange(20)
+        vec = s.owner_vec(xs)
+        for x in xs:
+            assert vec[x] == s.owner(int(x))
+
+
+class TestDerive:
+    def test_identity_for_none(self):
+        decl = ArrayDecl("A", (4, 4))
+        ta = derive_layout(decl, None, [], [])
+        assert not ta.restructured
+        assert ta.owner_specs == ()
+
+    def test_replicated(self):
+        decl = ArrayDecl("A", (4, 4))
+        dd = DataDecomp("A", [[0, 0]], [0], replicated=True)
+        ta = derive_layout(decl, dd, [Folding(FoldKind.BLOCK)], [4])
+        assert ta.replicated
+        assert not ta.restructured
+
+    def test_local_optimization_highest_block(self):
+        """(*, BLOCK) on a 2-D array: processor dim already rightmost,
+        so no restructuring happens (Section 4.2's final note)."""
+        ta = derive((8, 8), "(*, BLOCK)", [4])
+        assert not ta.restructured
+        assert ta.layout.dims == (8, 8)
+        assert ta.owner_coords((0, 7)) == (3,)
+
+    def test_first_dim_block_restructures(self):
+        ta = derive((8, 8), "(BLOCK, *)", [4])
+        assert ta.restructured
+        assert ta.layout.dims == (2, 8, 4)
+
+    def test_single_proc_no_restructure(self):
+        ta = derive((8, 8), "(BLOCK, *)", [1])
+        assert not ta.restructured
+
+    def test_no_restructure_flag(self):
+        ta = derive((8, 8), "(CYCLIC, *)", [4], restructure=False)
+        assert not ta.restructured
+        assert len(ta.owner_specs) == 1  # owners still computed
+
+    def test_3d_middle_dim(self):
+        """vpenta's F(*, BLOCK, *): the processor dim moves past the
+        plane dimension, packing each processor's planes together."""
+        ta = derive((8, 8, 3), "(*, BLOCK, *)", [4])
+        assert ta.restructured
+        assert ta.layout.dims == (8, 2, 3, 4)
+        # owner's data contiguous
+        per = {}
+        for i in range(8):
+            for j in range(8):
+                for k in range(3):
+                    o = ta.owner_coords((i, j, k))
+                    per.setdefault(o, []).append(
+                        ta.layout.linearize((i, j, k))
+                    )
+        for o, addrs in per.items():
+            s = sorted(addrs)
+            assert s[-1] - s[0] == len(s) - 1
+
+    def test_two_distributed_dims(self):
+        ta = derive((8, 8), "(BLOCK, BLOCK)", [2, 2])
+        assert ta.restructured
+        # dim 0 strip-mined; dim 1 (highest, BLOCK) keeps the local
+        # optimization: its block structure already composes contiguously
+        assert ta.layout.dims == (4, 8, 2)
+        per = {}
+        for i in range(8):
+            for j in range(8):
+                o = ta.owner_coords((i, j))
+                per.setdefault(o, []).append(ta.layout.linearize((i, j)))
+        for o, addrs in per.items():
+            s = sorted(addrs)
+            assert s[-1] - s[0] == len(s) - 1
+
+    def test_cyclic_processor_dim_is_inner_strip(self):
+        """CYCLIC: the first (mod) strip dimension identifies the
+        processor (Section 4.2)."""
+        ta = derive((8,), "(CYCLIC)", [4])
+        assert ta.layout.map_index((5,)) == (1, 1)  # (x//P, x%P)
+        assert ta.owner_coords((5,)) == (1,)
+
+    def test_block_cyclic_middle(self):
+        ta = derive((16,), "(CYCLIC(2))", [2])
+        # (x mod b, x div bP, (x div b) mod P)
+        assert ta.layout.map_index((6,)) == (0, 1, 1)
+        assert ta.owner_coords((6,)) == (1,)
+
+    @given(
+        st.integers(2, 12), st.integers(2, 6), st.integers(2, 4),
+        st.sampled_from(["(BLOCK, *)", "(CYCLIC, *)", "(*, BLOCK)",
+                         "(BLOCK, BLOCK)"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contiguity_property(self, d1, d2, p, dist):
+        """THE paper invariant: after transformation every processor's
+        elements occupy one contiguous address range."""
+        grid = [p, 1] if dist == "(BLOCK, BLOCK)" else [p]
+        if dist == "(BLOCK, BLOCK)":
+            grid = [max(1, p // 2), 2]
+        ta = derive((d1, d2), dist, grid)
+        assert ta.layout.is_bijective()
+        per = {}
+        for i in range(d1):
+            for j in range(d2):
+                o = ta.owner_coords((i, j))
+                per.setdefault(o, []).append(ta.layout.linearize((i, j)))
+        for o, addrs in per.items():
+            s = sorted(addrs)
+            # contiguous up to strip padding: the span may exceed the
+            # count only by padding elements that belong to no real index
+            span = s[-1] - s[0] + 1
+            assert span - len(s) < ta.layout.size - ta.decl.size + 1
+
+
+class TestSizes:
+    def test_padding_bound(self):
+        # Section 4.3: padded size < d + b_max per strip-mined dim.
+        ta = derive((10,), "(BLOCK)", [4])
+        b = -(-10 // 4)
+        assert 10 <= ta.layout.size < 10 + b
+
+    def test_nbytes(self):
+        ta = derive((8, 8), "(BLOCK, *)", [4], element_size=4)
+        assert ta.nbytes == ta.layout.size * 4
