@@ -35,7 +35,16 @@ def run_speedups(prog, machine_kwargs, procs=PROCS, schemes=None):
 def record(name, title, curves):
     text = format_speedup_table(curves, title=title)
     print("\n" + text)
-    save_experiment(name, text)
+    save_experiment(
+        name, text,
+        metrics={
+            "title": title,
+            "series": {
+                scheme: [[p, s] for p, s in srs]
+                for scheme, srs in curves.items()
+            },
+        },
+    )
     return text
 
 

@@ -6,6 +6,7 @@ Usage examples::
     python -m repro decompose lu --n 32 --procs 8
     python -m repro run stencil5 --n 64 --procs 16 --scale 32
     python -m repro emit simple --scheme data --n 16 --procs 4
+    python -m repro profile simple --scheme comp_decomp_data -o trace.json
 """
 
 from __future__ import annotations
@@ -25,6 +26,13 @@ SCHEME_NAMES = {
     "base": Scheme.BASE,
     "comp": Scheme.COMP_DECOMP,
     "data": Scheme.COMP_DECOMP_DATA,
+}
+
+# The profile subcommand also accepts the spelled-out scheme names.
+PROFILE_SCHEMES = {
+    **SCHEME_NAMES,
+    "comp_decomp": Scheme.COMP_DECOMP,
+    "comp_decomp_data": Scheme.COMP_DECOMP_DATA,
 }
 
 
@@ -92,6 +100,39 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro import obs
+    from repro.machine import scaled_dash
+    from repro.machine.simulate import simulate
+    from repro.obs.export import summary, write_chrome_trace, write_json
+    from repro.report import format_profile_table
+
+    obs.enable(reset=True)
+    prog = _build(args.app, args.n)
+    scheme = PROFILE_SCHEMES[args.scheme]
+    machine = scaled_dash(
+        args.procs, scale=args.scale,
+        word_bytes=min(d.element_size for d in prog.arrays.values()),
+    )
+    with obs.span("profile", cat="cli", app=args.app,
+                  scheme=scheme.value, nprocs=args.procs):
+        spmd = compile_program(prog, scheme, args.procs)
+        res = simulate(spmd, machine, detail=True)
+
+    print(summary())
+    print()
+    print(format_profile_table(res))
+    if args.output:
+        if args.format == "chrome":
+            write_chrome_trace(args.output)
+            print(f"\nwrote Chrome trace to {args.output} "
+                  "(load in chrome://tracing or https://ui.perfetto.dev)")
+        else:
+            write_json(args.output)
+            print(f"\nwrote JSON telemetry dump to {args.output}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -121,12 +162,28 @@ def main(argv=None) -> int:
     p.add_argument("--scheme", choices=sorted(SCHEME_NAMES) + ["all"],
                    default="all")
 
+    p = sub.add_parser(
+        "profile",
+        help="compile + simulate with observability on; dump the trace",
+    )
+    p.add_argument("app")
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--scheme", choices=sorted(PROFILE_SCHEMES),
+                   default="comp_decomp_data")
+    p.add_argument("-o", "--output", default=None,
+                   help="trace output path (Chrome trace-event JSON)")
+    p.add_argument("--format", choices=["chrome", "json"], default="chrome",
+                   help="output format: Chrome trace events or full dump")
+
     args = parser.parse_args(argv)
     return {
         "list": cmd_list,
         "decompose": cmd_decompose,
         "emit": cmd_emit,
         "run": cmd_run,
+        "profile": cmd_profile,
     }[args.command](args)
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from itertools import permutations
 from typing import List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.dependence import Dependence, analyze_nest
 from repro.analysis.parallelism import parallel_levels
 from repro.ir.loops import LoopNest
@@ -260,7 +261,9 @@ def _expose_impl(
     depth = nest.depth
     ident = identity(depth)
 
-    def fallback() -> UnimodularResult:
+    def fallback(reason: str) -> UnimodularResult:
+        obs.event("unimodular.keep", cat="compiler", nest=nest.name,
+                  reason=reason)
         return UnimodularResult(
             nest=nest,
             transform=ident,
@@ -272,35 +275,38 @@ def _expose_impl(
     if any(
         (st.depth is not None and st.depth != depth) for st in nest.body
     ):
-        return fallback()
+        return fallback("imperfect nest")
 
     obstructions = _obstruction_rows(deps, depth)
     if not obstructions:
-        return fallback()  # everything already parallel
+        return fallback("already parallel")
     head = integer_nullspace(obstructions)
     if not head:
-        return fallback()  # no communication-free direction to hoist
+        return fallback("no communication-free direction")
     head = _order_band_for_locality(head, nest)
     try:
         full = unimodular_completion(head, depth)
     except (ValueError, AssertionError):
-        return fallback()
+        return fallback("no unimodular completion")
     tail = full[len(head):]
     tail = _legal_tail_order(tail, deps, depth)
     if tail is None:
-        return fallback()
+        return fallback("no legal tail order")
     transform = head + tail
     if not is_unimodular(transform):
-        return fallback()
+        return fallback("transform not unimodular")
     perm = _is_permutation(transform)
     if perm is None:
-        return fallback()
+        return fallback("transform not a permutation")
     if perm == list(range(depth)):
-        return fallback()  # identity: nothing to do
+        return fallback("identity permutation")
     new_nest = _permute_nest(nest, perm)
     if new_nest is None:
-        return fallback()
+        return fallback("permutation breaks triangular bounds")
     new_deps = analyze_nest(new_nest, params)
+    obs.event("unimodular.permute", cat="compiler", nest=nest.name,
+              perm=list(perm), parallel_band=len(head))
+    obs.inc("unimodular.permuted")
     return UnimodularResult(
         nest=new_nest,
         transform=transform,

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.codegen.addrexpr import (
     AAffine,
     ADiv,
@@ -159,4 +160,17 @@ def optimize_ref_address(
                          per_entry=1,
                          detail=f"strength-reduced, carry period {period}")
             )
+    if obs.enabled():
+        # "invariant" covers the paper's div/mod hoisting; "peel" and
+        # "strength" the other two Section 4.3 remedies.
+        for p in report.plans:
+            obs.inc(f"addropt.{p.strategy}")
+        obs.inc("addropt.divmod_nodes", len(report.plans))
+        obs.event(
+            "addropt.plan", cat="codegen", var=var,
+            naive_per_iter=report.naive_per_iter,
+            optimized_per_iter=report.optimized_per_iter,
+            per_entry=report.per_entry,
+            strategies=[p.strategy for p in report.plans],
+        )
     return report

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.unimodular import expose_outer_parallelism
 from repro.datatrans.transform import (
     TransformedArray,
@@ -178,6 +179,20 @@ def generate_spmd(
     partition to a cache-line multiple; see
     :func:`repro.datatrans.transform.derive_layout`.
     """
+    with obs.span("codegen.spmd", cat="codegen", program=prog.name,
+                  scheme=scheme.value, nprocs=nprocs) as sp:
+        out = _generate_impl(prog, scheme, nprocs, decomp, line_pad_elements)
+        sp.set(phases=len(out.phases), grid=list(out.grid))
+        return out
+
+
+def _generate_impl(
+    prog: Program,
+    scheme: Scheme,
+    nprocs: int,
+    decomp: Optional[Decomposition] = None,
+    line_pad_elements: Optional[int] = None,
+) -> SpmdProgram:
     params = prog.params
 
     if scheme is Scheme.BASE:
@@ -196,6 +211,8 @@ def generate_spmd(
                 # levels before the first parallel one stay sequential
             if level is None:
                 owners = [OwnerPlan(kind="serial") for _ in n.body]
+                obs.event("codegen.phase", cat="codegen", nest=n.name,
+                          sync=SyncKind.BARRIER.value, serial=True)
                 phases.append(
                     SpmdPhase(
                         nest=n,
@@ -212,14 +229,16 @@ def generate_spmd(
                     owners.append(OwnerPlan(kind="base", level=level))
                 else:
                     owners.append(OwnerPlan(kind="serial"))
+            barriers = _barriers_per_execution(n, level, params)
+            obs.event("codegen.phase", cat="codegen", nest=n.name,
+                      sync=SyncKind.BARRIER.value, level=level,
+                      barriers=barriers)
             phases.append(
                 SpmdPhase(
                     nest=n,
                     owners=owners,
                     sync_after=SyncKind.BARRIER,
-                    barriers_per_execution=_barriers_per_execution(
-                        n, level, params
-                    ),
+                    barriers_per_execution=barriers,
                 )
             )
         return SpmdProgram(
@@ -305,6 +324,10 @@ def generate_spmd(
             for k, (lo, hi) in enumerate(bounds):
                 if k not in mapped_levels:
                     seq_steps *= max(1, hi - lo + 1)
+        obs.event("codegen.phase", cat="codegen", nest=nest.name,
+                  sync=sync.value, pipelined=pipelined,
+                  all_reads_local=local, seq_steps=seq_steps,
+                  serial=serial)
         phases.append(
             SpmdPhase(
                 nest=nest,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro import obs
 from repro.analysis.unimodular import expose_outer_parallelism
 from repro.codegen.emit_c import emit_c_program
 from repro.codegen.spmd import Scheme, SpmdProgram, generate_spmd
@@ -50,13 +51,22 @@ def restructure_program(prog: Program) -> Program:
     cached = getattr(prog, "_restructured", None)
     if cached is not None:
         return cached
+    nests = []
+    with obs.span("compiler.restructure", cat="compiler",
+                  program=prog.name):
+        for nest in prog.nests:
+            with obs.span("unimodular.nest", cat="compiler",
+                          nest=nest.name) as sp:
+                res = expose_outer_parallelism(nest, prog.params)
+                sp.set(
+                    transformed=res.nest is not nest,
+                    outer_parallel=res.outer_parallel_count,
+                )
+                nests.append(res.nest)
     out = Program(
         name=prog.name,
         arrays=dict(prog.arrays),
-        nests=[
-            expose_outer_parallelism(nest, prog.params).nest
-            for nest in prog.nests
-        ],
+        nests=nests,
         params=dict(prog.params),
         time_steps=prog.time_steps,
     )
@@ -82,12 +92,14 @@ def compile_program(
     algorithm runs.
     """
     prog.validate()
-    rprog = restructure_program(prog)
-    if scheme is Scheme.BASE:
-        return generate_spmd(rprog, scheme, nprocs)
-    if decomp is None:
-        decomp = decompose_program(rprog, nprocs, max_dims=max_dims)
-    return generate_spmd(rprog, scheme, nprocs, decomp=decomp)
+    with obs.span("compiler.compile", cat="compiler", program=prog.name,
+                  scheme=scheme.value, nprocs=nprocs):
+        rprog = restructure_program(prog)
+        if scheme is Scheme.BASE:
+            return generate_spmd(rprog, scheme, nprocs)
+        if decomp is None:
+            decomp = decompose_program(rprog, nprocs, max_dims=max_dims)
+        return generate_spmd(rprog, scheme, nprocs, decomp=decomp)
 
 
 @dataclass
@@ -113,15 +125,17 @@ def compile_all(
 ) -> CompiledProgram:
     """Compile a program under all three Section-6 configurations."""
     prog.validate()
-    rprog = restructure_program(prog)
-    decomp = decompose_program(rprog, nprocs, max_dims=max_dims)
-    return CompiledProgram(
-        base=generate_spmd(rprog, Scheme.BASE, nprocs),
-        comp_decomp=generate_spmd(
-            rprog, Scheme.COMP_DECOMP, nprocs, decomp=decomp
-        ),
-        comp_decomp_data=generate_spmd(
-            rprog, Scheme.COMP_DECOMP_DATA, nprocs, decomp=decomp
-        ),
-        decomposition=decomp,
-    )
+    with obs.span("compiler.compile_all", cat="compiler",
+                  program=prog.name, nprocs=nprocs):
+        rprog = restructure_program(prog)
+        decomp = decompose_program(rprog, nprocs, max_dims=max_dims)
+        return CompiledProgram(
+            base=generate_spmd(rprog, Scheme.BASE, nprocs),
+            comp_decomp=generate_spmd(
+                rprog, Scheme.COMP_DECOMP, nprocs, decomp=decomp
+            ),
+            comp_decomp_data=generate_spmd(
+                rprog, Scheme.COMP_DECOMP_DATA, nprocs, decomp=decomp
+            ),
+            decomposition=decomp,
+        )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.datatrans.layout import DimAtom, Layout
 from repro.decomp.model import DataDecomp, Folding, FoldKind
 from repro.ir.arrays import ArrayDecl
@@ -111,6 +112,33 @@ def derive_layout(
     padding technique of Jeremiassen & Eggers discussed in the paper's
     related work, offered here as an extension.
     """
+    out = _derive_impl(
+        decl, decomp, foldings, grid, restructure, line_pad_elements
+    )
+    if obs.enabled():
+        obs.event(
+            "datatrans.layout", cat="datatrans", array=decl.name,
+            restructured=out.restructured, replicated=out.replicated,
+            atoms=len(out.layout.atoms), rank=decl.rank,
+            size=out.layout.size,
+            strip_mined=len(out.layout.atoms) > decl.rank,
+            permuted=out.restructured,
+        )
+        obs.inc(
+            "datatrans.restructured" if out.restructured
+            else "datatrans.identity"
+        )
+    return out
+
+
+def _derive_impl(
+    decl: ArrayDecl,
+    decomp: Optional[DataDecomp],
+    foldings: Sequence[Folding],
+    grid: Sequence[int],
+    restructure: bool = True,
+    line_pad_elements: Optional[int] = None,
+) -> TransformedArray:
     if decomp is None or decomp.replicated or not decomp.matrix:
         out = identity_transform(decl)
         out.replicated = bool(decomp and decomp.replicated)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.decomp.model import Decomposition, Folding, FoldKind
 from repro.ir.loops import LoopNest
 from repro.ir.program import Program
@@ -62,6 +63,8 @@ def choose_folding(
             foldings.append(Folding(kind, block_cyclic_block))
         else:
             foldings.append(Folding(kind))
+        obs.event("decomp.folding", cat="decomp", dim=p, kind=kind.value)
+        obs.inc(f"folding.{kind.value}")
     return foldings
 
 

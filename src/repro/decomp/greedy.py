@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.analysis.dependence import Dependence, analyze_nest
 from repro.analysis.unimodular import _obstruction_rows
 from repro.decomp.folding import choose_folding
@@ -131,6 +132,21 @@ def decompose_program(
     deps_by_nest: Optional[Mapping[str, List[Dependence]]] = None,
 ) -> Decomposition:
     """Run the greedy decomposition over a whole program."""
+    with obs.span("decomp.greedy", cat="decomp", program=prog.name,
+                  nprocs=nprocs, max_dims=max_dims) as sp:
+        decomp = _decompose_impl(prog, nprocs, max_dims, deps_by_nest)
+        sp.set(rank=decomp.rank,
+               pipelined=len(decomp.pipelined_nests),
+               excluded=len(decomp.excluded_nests))
+        return decomp
+
+
+def _decompose_impl(
+    prog: Program,
+    nprocs: int,
+    max_dims: int = 2,
+    deps_by_nest: Optional[Mapping[str, List[Dependence]]] = None,
+) -> Decomposition:
     array_ranks = {n: prog.arrays[n].rank for n in prog.arrays}
     read_only = _read_only_arrays(prog)
 
@@ -198,6 +214,13 @@ def decompose_program(
                     pipelined.append(info.nest.name)
                 if label != "strict":
                     notes.append(f"{info.nest.name}: accepted at rung '{label}'")
+                obs.event(
+                    "decomp.ladder", cat="decomp", nest=info.nest.name,
+                    rung=label, weight=info.weight,
+                    replicated=sorted(trial_repl),
+                    pipelined=info.nest.name in pipelined,
+                )
+                obs.inc(f"decomp.rung.{label}")
                 accepted = True
                 break
         if not accepted:
@@ -206,6 +229,9 @@ def decompose_program(
                 f"{info.nest.name}: no joint decomposition with parallelism; "
                 "separate region (communication at boundary)"
             )
+            obs.event("decomp.excluded", cat="decomp", nest=info.nest.name,
+                      weight=info.weight)
+            obs.inc("decomp.rung.excluded")
 
     solution = solve_group(included, array_ranks, replicated, max_dims=max_dims)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.util.intlinalg import (
     integer_nullspace,
     integer_rank,
@@ -310,6 +311,19 @@ def solve_group(
     independent components are solved separately and their selected rows
     are merged dimension-by-dimension into the shared virtual space.
     """
+    with obs.span("decomp.solve_group", cat="decomp",
+                  entries=len(entries)) as sp:
+        sol = _solve_group(entries, array_ranks, replicated, max_dims)
+        sp.set(rank=sol.rank)
+        return sol
+
+
+def _solve_group(
+    entries: Sequence[StmtEntry],
+    array_ranks: Dict[str, int],
+    replicated: Optional[Set[str]] = None,
+    max_dims: int = 2,
+) -> GroupSolution:
     replicated = set(replicated or ())
     components = _connected_components(entries, replicated)
     if len(components) > 1:

@@ -27,6 +27,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.machine.cache import (
     CacheConfig,
     assoc_lru_hits,
@@ -165,7 +166,7 @@ def classify_accesses(
             & (lw_any_line > prev_line_pos)
         )
         l2_hit = miss & l2_tag & ~inv2
-    return AccessClassification(
+    out = AccessClassification(
         hit=hit,
         cold=cold & miss,
         replacement=replacement,
@@ -174,6 +175,16 @@ def classify_accesses(
         upgrade=upgrade,
         l2_hit=l2_hit,
     )
+    if obs.enabled():
+        obs.event(
+            "sim.classify", cat="machine", accesses=int(n),
+            hits=int(out.hit.sum()), cold=int(out.cold.sum()),
+            replacement=int(out.replacement.sum()),
+            true_sharing=int(out.true_sharing.sum()),
+            false_sharing=int(out.false_sharing.sum()),
+            upgrade=int(out.upgrade.sum()), l2_hits=int(out.l2_hit.sum()),
+        )
+    return out
 
 
 class ExactCoherentSim:

@@ -20,6 +20,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class CostParams:
@@ -118,6 +120,9 @@ def phase_time(
             tiles = int(max(1, min(seq_steps, k_opt)))
             fill = (nprocs - 1) * compute / max(1, tiles)
             sync = fill + tiles * params.lock_cost
+            obs.event("sim.pipeline_tile", cat="machine",
+                      nest=nest_name, tiles=tiles, fill=fill,
+                      lock_overhead=tiles * params.lock_cost)
         elif sync_kind == "barrier":
             sync = barriers * params.barrier_cost(nprocs)
         elif sync_kind == "neighbor":

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.spmd import Scheme, SpmdProgram, generate_spmd
 from repro.machine.coherence import classify_accesses
 from repro.machine.cost import CostParams, PhaseCost, per_proc_cycles, phase_time
@@ -24,7 +25,16 @@ from repro.machine.trace import PhaseTrace, program_traces
 
 @dataclass
 class SimResult:
-    """Outcome of simulating one (program, scheme, machine) triple."""
+    """Outcome of simulating one (program, scheme, machine) triple.
+
+    ``phase_costs[k].misses`` carries the steady-round miss-class
+    breakdown of phase ``k``.  The optional *detail* fields (filled when
+    observability is enabled or ``simulate(..., detail=True)``) add a
+    per-array miss-class breakdown over the whole simulated stream, a
+    NUMA local/remote summary, and the cache-set occupancy of
+    replacement (conflict) misses — the raw material of the "why is
+    this slow" profile (:func:`repro.report.format_profile_table`).
+    """
 
     scheme: str
     nprocs: int
@@ -34,6 +44,9 @@ class SimResult:
     phase_costs: List[PhaseCost]
     miss_breakdown: Dict[str, int] = field(default_factory=dict)
     n_accesses: int = 0
+    array_breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    numa: Dict[str, float] = field(default_factory=dict)
+    conflict_sets: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
         mb = self.miss_breakdown
@@ -44,8 +57,47 @@ class SimResult:
         )
 
 
-def simulate(spmd: SpmdProgram, machine: DashConfig) -> SimResult:
-    """Simulate one compiled program on one machine."""
+_MISS_CLASSES = (
+    "hits", "cold", "replacement", "true_sharing", "false_sharing",
+    "upgrade", "l2_hits", "remote", "local_miss",
+)
+
+
+def _class_masks(cls, miss_local, miss_remote) -> Dict[str, np.ndarray]:
+    return {
+        "hits": cls.hit,
+        "cold": cls.cold,
+        "replacement": cls.replacement,
+        "true_sharing": cls.true_sharing,
+        "false_sharing": cls.false_sharing,
+        "upgrade": cls.upgrade,
+        "l2_hits": cls.l2_hit,
+        "remote": miss_remote,
+        "local_miss": miss_local,
+    }
+
+
+def simulate(
+    spmd: SpmdProgram, machine: DashConfig, detail: bool = False
+) -> SimResult:
+    """Simulate one compiled program on one machine.
+
+    ``detail=True`` forces the per-array / NUMA / conflict-set profile
+    fields of :class:`SimResult` to be computed even when observability
+    is disabled (they are always computed when it is enabled).
+    """
+    with obs.span("sim.simulate", cat="machine", scheme=spmd.scheme.value,
+                  nprocs=spmd.nprocs) as sp:
+        res = _simulate_impl(spmd, machine, detail or obs.enabled())
+        sp.set(total_time=res.total_time, accesses=res.n_accesses)
+        for k, v in res.miss_breakdown.items():
+            sp.add(k, v)
+        return res
+
+
+def _simulate_impl(
+    spmd: SpmdProgram, machine: DashConfig, detail: bool
+) -> SimResult:
     prog = spmd.program
     space, traces = program_traces(spmd, machine.numa.page_bytes)
 
@@ -99,27 +151,39 @@ def simulate(spmd: SpmdProgram, machine: DashConfig) -> SimResult:
         "remote": int(miss_remote.sum()),
         "local_miss": int(miss_local.sum()),
     }
+    masks = _class_masks(cls, miss_local, miss_remote)
 
     for i, (r, t, k) in enumerate(seq):
-        sl = slice_id == i
-        cycles = per_proc_cycles(
-            proc[sl], cls.hit[sl], miss_local[sl], miss_remote[sl],
-            nprocs, params, upgrade=cls.upgrade[sl], l2_hit=cls.l2_hit[sl],
-        )
-        pc = phase_time(
-            nest_name=t.nest_name,
-            cycles=cycles,
-            sync_kind=t.sync_after,
-            barriers=t.barriers,
-            pipelined=t.pipelined,
-            seq_steps=spmd.phases[k].seq_steps,
-            nprocs=nprocs,
-            params=params,
-        )
-        freq = max(1, spmd.phases[k].nest.frequency)
-        round_time[r] += pc.time * freq
-        if r == rounds - 1:
-            phase_costs.append(pc)
+        steady = r == rounds - 1
+        with obs.span("sim.phase", cat="machine", nest=t.nest_name,
+                      round="steady" if steady else "cold") as psp:
+            sl = slice_id == i
+            cycles = per_proc_cycles(
+                proc[sl], cls.hit[sl], miss_local[sl], miss_remote[sl],
+                nprocs, params, upgrade=cls.upgrade[sl], l2_hit=cls.l2_hit[sl],
+            )
+            pc = phase_time(
+                nest_name=t.nest_name,
+                cycles=cycles,
+                sync_kind=t.sync_after,
+                barriers=t.barriers,
+                pipelined=t.pipelined,
+                seq_steps=spmd.phases[k].seq_steps,
+                nprocs=nprocs,
+                params=params,
+            )
+            freq = max(1, spmd.phases[k].nest.frequency)
+            round_time[r] += pc.time * freq
+            if steady:
+                # Steady-round miss classes become the phase profile.
+                pc.misses = {
+                    name: int(m[sl].sum()) for name, m in masks.items()
+                }
+                pc.misses["accesses"] = int(sl.sum())
+                phase_costs.append(pc)
+                psp.set(time=pc.time, compute=pc.compute_max, sync=pc.sync)
+                for name, v in pc.misses.items():
+                    psp.add(name, v)
 
     steps = max(1, prog.time_steps)
     if rounds == 2:
@@ -127,6 +191,46 @@ def simulate(spmd: SpmdProgram, machine: DashConfig) -> SimResult:
     else:
         total = round_time[0] * steps
         round_time[1] = round_time[0]
+
+    nmiss = breakdown["remote"] + breakdown["local_miss"]
+    numa = {
+        "local_misses": breakdown["local_miss"],
+        "remote_misses": breakdown["remote"],
+        "local_ratio": breakdown["local_miss"] / nmiss if nmiss else 1.0,
+    }
+    array_breakdown: Dict[str, Dict[str, int]] = {}
+    conflict: Dict[str, object] = {}
+    if detail:
+        # Per-array classes over the whole simulated stream: arrays are
+        # laid out contiguously, so the owning array of an address is a
+        # binary search over the sorted base addresses.
+        names = sorted(space.bases, key=lambda nm: space.bases[nm])
+        starts = np.array([space.bases[nm] for nm in names], dtype=np.int64)
+        aidx = np.searchsorted(starts, addr, side="right") - 1
+        for j, nm in enumerate(names):
+            am = aidx == j
+            cnt = int(am.sum())
+            if not cnt:
+                continue
+            ab = {name: int((m & am).sum()) for name, m in masks.items()}
+            ab["accesses"] = cnt
+            array_breakdown[nm] = ab
+        # Conflict pressure: which cache sets the replacement misses
+        # land on (a skewed occupancy is the power-of-two aliasing
+        # signature the paper's data transform removes).
+        nsets = machine.cache.nsets
+        rsets = (addr[cls.replacement] // machine.cache.line_bytes) % nsets
+        occ = np.bincount(rsets, minlength=nsets)
+        top = np.argsort(occ)[::-1][:8]
+        conflict = {
+            "nsets": int(nsets),
+            "replacement_misses": int(occ.sum()),
+            "max_per_set": int(occ.max()) if nsets else 0,
+            "mean_per_set": float(occ.mean()) if nsets else 0.0,
+            "top_sets": [[int(s), int(occ[s])] for s in top if occ[s] > 0],
+        }
+        obs.event("sim.numa", cat="machine", **numa)
+
     return SimResult(
         scheme=spmd.scheme.value,
         nprocs=nprocs,
@@ -136,6 +240,9 @@ def simulate(spmd: SpmdProgram, machine: DashConfig) -> SimResult:
         phase_costs=phase_costs,
         miss_breakdown=breakdown,
         n_accesses=int(len(addr)) // rounds,
+        array_breakdown=array_breakdown,
+        numa=numa,
+        conflict_sets=conflict,
     )
 
 
@@ -187,8 +294,16 @@ def speedup_curve(
                 decomp=decomp if scheme is not Scheme.BASE else None,
             )
             res = simulate(spmd, machine)
-            series.append(
-                (p, seq.total_time / res.total_time if res.total_time else 0.0)
-            )
+            if res.total_time > 0.0:
+                s = seq.total_time / res.total_time
+            else:
+                # A zero simulated time (e.g. an empty trace) must not
+                # read as "speedup 0.0" — or worse, divide to inf.
+                # Report the neutral 1.0 and log the anomaly.
+                s = 1.0
+                obs.event("sim.zero_time", cat="machine",
+                          scheme=scheme.value, nprocs=p,
+                          seq_time=seq.total_time)
+            series.append((p, s))
         out[scheme.value] = series
     return out

@@ -20,6 +20,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.spmd import OwnerPlan, SpmdPhase, SpmdProgram
 from repro.datatrans.transform import TransformedArray
 from repro.ir.expr import AffineExpr
@@ -262,5 +263,14 @@ def program_traces(spmd: SpmdProgram, page_bytes: int = 4096) -> Tuple[
     space = AddressSpace.build(spmd.transformed, spmd.nprocs, page_bytes)
     # Nest frequency (inner repetition) is applied by the cost model,
     # not by replicating trace data.
-    traces = [phase_trace(spmd, phase, space) for phase in spmd.phases]
+    traces = []
+    with obs.span("sim.trace", cat="machine", scheme=spmd.scheme.value,
+                  total_bytes=space.total_bytes) as sp:
+        for phase in spmd.phases:
+            with obs.span("sim.trace.phase", cat="machine",
+                          nest=phase.nest.name) as psp:
+                t = phase_trace(spmd, phase, space)
+                psp.add("accesses", t.n_accesses)
+                traces.append(t)
+        sp.add("accesses", sum(t.n_accesses for t in traces))
     return space, traces

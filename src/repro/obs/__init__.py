@@ -1,0 +1,82 @@
+"""repro.obs — structured tracing, metrics, and profiling hooks.
+
+Usage at an instrumentation site::
+
+    from repro import obs
+
+    with obs.span("decomp.greedy", cat="decomp", program=prog.name) as sp:
+        ...
+        sp.add("nests_included", 3)
+    obs.event("decomp.ladder", cat="decomp", nest="n0", rung="strict")
+    obs.inc("addropt.invariant")
+
+Recording is off by default (set ``REPRO_OBS=1`` or call
+:func:`enable`); when off, every hook is a strict no-op — ``span()``
+and ``counter()`` return shared singleton no-op objects and nothing is
+allocated or stored.  Export collected data with
+:func:`repro.obs.export.to_chrome_trace` (``chrome://tracing`` /
+Perfetto), :func:`repro.obs.export.to_json`, or
+:func:`repro.obs.export.summary`.
+"""
+
+from repro.obs.core import (
+    ENV_FLAG,
+    NOOP_SPAN,
+    Collector,
+    Event,
+    Span,
+    collector,
+    counter,
+    disable,
+    enable,
+    enabled,
+    event,
+    gauge,
+    histogram,
+    inc,
+    reset,
+    span,
+)
+from repro.obs.metrics import (
+    NOOP_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.export import (
+    summary,
+    to_chrome_trace,
+    to_json,
+    write_chrome_trace,
+    write_json,
+)
+
+__all__ = [
+    "ENV_FLAG",
+    "NOOP_SPAN",
+    "NOOP_METRIC",
+    "Collector",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "collector",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "gauge",
+    "histogram",
+    "inc",
+    "reset",
+    "span",
+    "summary",
+    "to_chrome_trace",
+    "to_json",
+    "write_chrome_trace",
+    "write_json",
+]

@@ -1,0 +1,130 @@
+"""Metric instruments: counters, gauges, histograms.
+
+All instruments live in a :class:`MetricsRegistry` owned by the active
+collector (:mod:`repro.obs.core`).  When observability is disabled the
+module-level accessors hand back the *shared* :data:`NOOP_METRIC`
+instead — callers keep a uniform ``.add()/.set()/.observe()`` surface
+and pay only an attribute lookup plus a no-op call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, value: int = 1) -> "Counter":
+        self.value += value
+        return self
+
+
+class Gauge:
+    """Last-set value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> "Gauge":
+        self.value = value
+        return self
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> "Histogram":
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NoopMetric:
+    """Shared do-nothing instrument returned while disabled."""
+
+    __slots__ = ()
+
+    def add(self, value: int = 1) -> "_NoopMetric":
+        return self
+
+    def set(self, value: float) -> "_NoopMetric":
+        return self
+
+    def observe(self, value: float) -> "_NoopMetric":
+        return self
+
+
+NOOP_METRIC = _NoopMetric()
+
+
+class MetricsRegistry:
+    """Create-on-demand instrument store."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean,
+                }
+                for k, h in sorted(self.histograms.items())
+            },
+        }

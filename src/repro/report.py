@@ -14,13 +14,18 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 Series = Sequence[Tuple[int, float]]
 
 
-def save_experiment(name: str, text: str) -> str:
+def save_experiment(
+    name: str, text: str, metrics: Optional[Mapping] = None
+) -> str:
     """Persist a benchmark's formatted output under ``results/``.
 
     pytest captures stdout, so the benchmark harness writes each
     table/figure reproduction to a file as well; EXPERIMENTS.md points
-    at these.  Returns the path written.
+    at these.  When ``metrics`` is given (raw series / breakdowns), a
+    machine-readable sibling ``<name>.json`` is written next to the
+    text table.  Returns the text path written.
     """
+    import json
     import os
 
     root = os.environ.get("REPRO_RESULTS_DIR", "results")
@@ -28,6 +33,11 @@ def save_experiment(name: str, text: str) -> str:
     path = os.path.join(root, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text.rstrip() + "\n")
+    if metrics is not None:
+        jpath = os.path.join(root, f"{name}.json")
+        with open(jpath, "w") as fh:
+            json.dump({"name": name, **dict(metrics)}, fh, indent=1,
+                      default=str)
     return path
 
 
@@ -45,6 +55,76 @@ def format_speedup_table(
     for scheme, series in curves.items():
         row = f"{scheme:34s}" + "".join(f"{s:8.2f}" for _, s in series)
         lines.append(row)
+    return "\n".join(lines)
+
+
+_PROFILE_CLASSES = [
+    ("cold", "cold"),
+    ("replacement", "conflict"),
+    ("true_sharing", "true-sh"),
+    ("false_sharing", "false-sh"),
+    ("upgrade", "upgrade"),
+    ("l2_hits", "l2-hit"),
+    ("remote", "remote"),
+    ("local_miss", "loc-miss"),
+]
+
+
+def format_profile_table(result) -> str:
+    """The "why is this slow" profile of one :class:`SimResult`.
+
+    Per-phase steady-round miss classes next to the phase times, plus
+    (when the detail fields were computed) the per-array breakdown, the
+    NUMA local/remote ratio, and the conflict-set occupancy.
+    """
+    lines: List[str] = []
+    lines.append(
+        f"profile: {result.scheme} P={result.nprocs} "
+        f"total={result.total_time:.3e}"
+    )
+    header = (
+        f"{'phase':16s} {'time':>11s} {'sync':>10s} {'accesses':>9s}"
+        + "".join(f"{label:>9s}" for _, label in _PROFILE_CLASSES)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for pc in result.phase_costs:
+        m = pc.misses or {}
+        lines.append(
+            f"{pc.nest_name:16s} {pc.time:11.3e} {pc.sync:10.3e} "
+            f"{m.get('accesses', 0):>9d}"
+            + "".join(f"{m.get(key, 0):>9d}" for key, _ in _PROFILE_CLASSES)
+        )
+    if result.array_breakdown:
+        lines.append("")
+        header = (
+            f"{'array':16s} {'accesses':>11s} {'':>10s} {'':>9s}"
+            + "".join(f"{label:>9s}" for _, label in _PROFILE_CLASSES)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, ab in sorted(result.array_breakdown.items()):
+            lines.append(
+                f"{name:16s} {ab.get('accesses', 0):>11d} {'':>10s} {'':>9s}"
+                + "".join(
+                    f"{ab.get(key, 0):>9d}" for key, _ in _PROFILE_CLASSES
+                )
+            )
+    if result.numa:
+        lines.append(
+            f"numa: {result.numa['local_misses']} local / "
+            f"{result.numa['remote_misses']} remote misses "
+            f"(local ratio {result.numa['local_ratio']:.2f})"
+        )
+    if result.conflict_sets:
+        cs = result.conflict_sets
+        top = ", ".join(f"set {s}: {c}" for s, c in cs.get("top_sets", []))
+        lines.append(
+            f"conflict sets: {cs['replacement_misses']} replacement misses "
+            f"over {cs['nsets']} sets, max/set={cs['max_per_set']} "
+            f"mean/set={cs['mean_per_set']:.1f}"
+            + (f" [{top}]" if top else "")
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,286 @@
+"""The observability layer: spans, metrics, exporters, no-op fast path.
+
+Covers span nesting/timing, counter aggregation, the disabled-mode
+shared no-op objects (identity checks), the Chrome trace-event export
+round-trip, the CLI ``profile`` command, and the overhead guard: the
+disabled instrumentation path must add < 5% to a small
+``compile_all`` + ``simulate`` run.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.apps import simple
+from repro.compiler import Scheme, compile_all, compile_program
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts disabled with an empty collector and leaves no
+    global state behind."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_nesting_and_timing(self):
+        obs.enable()
+        with obs.span("outer", cat="test", k=1) as outer:
+            time.sleep(0.002)
+            with obs.span("inner", cat="test") as inner:
+                time.sleep(0.001)
+                inner.add("work", 3)
+                inner.add("work", 4)
+        spans = obs.collector().spans
+        assert [s.name for s in spans] == ["inner", "outer"]  # close order
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration > 0
+        assert outer.duration >= inner.duration
+        assert inner.counters == {"work": 7}
+        assert outer.attrs == {"k": 1}
+
+    def test_events_parented_to_open_span(self):
+        obs.enable()
+        with obs.span("phase", cat="test") as sp:
+            obs.event("thing", cat="test", value=42)
+        ev = obs.collector().events[0]
+        assert ev.span_id == sp.span_id
+        assert ev.attrs == {"value": 42}
+
+    def test_span_records_exception_type(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom", cat="test"):
+                raise ValueError("no")
+        assert obs.collector().spans[0].attrs["error"] == "ValueError"
+
+
+class TestMetrics:
+    def test_counter_aggregation(self):
+        obs.enable()
+        obs.inc("x", 2)
+        obs.inc("x", 3)
+        obs.inc("y")
+        snap = obs.collector().metrics.snapshot()
+        assert snap["counters"] == {"x": 5, "y": 1}
+
+    def test_gauge_and_histogram(self):
+        obs.enable()
+        obs.gauge("g").set(7.5)
+        h = obs.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        snap = obs.collector().metrics.snapshot()
+        assert snap["gauges"]["g"] == 7.5
+        assert snap["histograms"]["h"]["count"] == 3
+        assert snap["histograms"]["h"]["mean"] == 2.0
+        assert snap["histograms"]["h"]["min"] == 1.0
+        assert snap["histograms"]["h"]["max"] == 3.0
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop(self):
+        assert not obs.enabled()
+        assert obs.span("a") is obs.span("b", cat="x", attr=1)
+        assert obs.span("a") is obs.NOOP_SPAN
+
+    def test_metrics_return_shared_noop(self):
+        assert obs.counter("a") is obs.counter("b")
+        assert obs.counter("a") is obs.NOOP_METRIC
+        assert obs.gauge("g") is obs.NOOP_METRIC
+        assert obs.histogram("h") is obs.NOOP_METRIC
+
+    def test_nothing_recorded_while_disabled(self):
+        with obs.span("s", cat="test") as sp:
+            sp.add("c", 1).set(x=2)
+        obs.event("e", cat="test")
+        obs.inc("c", 5)
+        c = obs.collector()
+        assert c.spans == [] and c.events == []
+        assert c.metrics.snapshot()["counters"] == {}
+
+    def test_noop_span_surface(self):
+        sp = obs.span("x")
+        assert sp.set(a=1) is sp
+        assert sp.add("k") is sp
+        assert sp.duration == 0.0
+
+
+class TestExport:
+    def _record_something(self):
+        obs.enable()
+        with obs.span("outer", cat="test", scheme="base") as sp:
+            sp.add("cold", 4)
+            with obs.span("inner", cat="test"):
+                obs.event("ev", cat="test", nest="n0")
+        obs.inc("total", 9)
+
+    def test_chrome_trace_round_trip(self):
+        self._record_something()
+        data = json.loads(json.dumps(obs.to_chrome_trace()))
+        evs = data["traceEvents"]
+        xs = {e["name"]: e for e in evs if e["ph"] == "X"}
+        assert set(xs) == {"outer", "inner"}
+        assert xs["outer"]["args"]["scheme"] == "base"
+        assert xs["outer"]["args"]["cold"] == 4
+        assert xs["outer"]["dur"] >= xs["inner"]["dur"] >= 0
+        # Span counters and registry counters appear as counter tracks.
+        cs = [e for e in evs if e["ph"] == "C"]
+        assert any(e["name"] == "outer.cold" for e in cs)
+        assert any(e["name"] == "total" and e["args"]["total"] == 9
+                   for e in cs)
+        assert any(e["ph"] == "i" and e["name"] == "ev" for e in evs)
+
+    def test_json_dump_structure(self):
+        self._record_something()
+        data = json.loads(json.dumps(obs.to_json()))
+        assert [s["name"] for s in data["spans"]] == ["outer", "inner"]
+        assert data["spans"][1]["parent"] == data["spans"][0]["id"]
+        assert data["metrics"]["counters"]["total"] == 9
+        assert data["events"][0]["name"] == "ev"
+
+    def test_summary_renders_tree(self):
+        self._record_something()
+        text = obs.summary()
+        assert "outer" in text and "inner" in text
+        assert "total" in text
+        assert "ms" in text
+
+    def test_write_chrome_trace(self, tmp_path):
+        self._record_something()
+        path = str(tmp_path / "trace.json")
+        obs.write_chrome_trace(path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert "traceEvents" in data
+
+
+class TestPipelineTelemetry:
+    """The instrumented compiler + simulator emit the expected shape."""
+
+    def test_compile_simulate_trace_contents(self):
+        obs.enable()
+        prog = simple.build(n=16)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP_DATA, 4)
+        res = simulate(spmd, scaled_dash(4, scale=32, word_bytes=8))
+        names = {s.name for s in obs.collector().spans}
+        assert {"compiler.compile", "compiler.restructure",
+                "unimodular.nest", "decomp.greedy", "decomp.solve_group",
+                "codegen.spmd", "sim.simulate", "sim.trace",
+                "sim.phase"} <= names
+        # Per-phase simulator spans carry miss-class counters.
+        phase_spans = [
+            s for s in obs.collector().spans
+            if s.name == "sim.phase" and s.attrs.get("round") == "steady"
+        ]
+        assert phase_spans
+        for s in phase_spans:
+            assert {"cold", "replacement", "true_sharing",
+                    "false_sharing"} <= set(s.counters)
+        # Ladder decisions and layout derivations were logged.
+        ev_names = {e.name for e in obs.collector().events}
+        assert {"decomp.ladder", "decomp.folding",
+                "datatrans.layout", "codegen.phase"} <= ev_names
+        # Detail fields flow into SimResult when obs is enabled.
+        assert res.array_breakdown
+        assert "local_ratio" in res.numa
+        assert res.conflict_sets["nsets"] > 0
+        for pc in res.phase_costs:
+            assert "cold" in pc.misses
+
+    def test_detail_flag_without_obs(self):
+        prog = simple.build(n=16)
+        spmd = compile_program(prog, Scheme.BASE, 4)
+        machine = scaled_dash(4, scale=32, word_bytes=8)
+        lean = simulate(spmd, machine)
+        rich = simulate(spmd, machine, detail=True)
+        assert lean.array_breakdown == {}
+        assert rich.array_breakdown
+        assert lean.total_time == rich.total_time
+
+
+class TestProfileCli:
+    def test_profile_command_writes_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = str(tmp_path / "trace.json")
+        rc = main([
+            "profile", "simple", "--n", "16", "--procs", "4",
+            "--scheme", "comp_decomp_data", "-o", out,
+        ])
+        assert rc == 0
+        with open(out) as fh:
+            data = json.load(fh)
+        evs = data["traceEvents"]
+        xs = [e for e in evs if e.get("ph") == "X"]
+        # Nested compiler-phase spans ...
+        assert any(e["name"] == "compiler.compile" for e in xs)
+        assert any(e["name"] == "decomp.greedy" for e in xs)
+        # ... and per-phase simulator miss-class counters.
+        sim_phases = [
+            e for e in xs
+            if e["name"] == "sim.phase"
+            and e.get("args", {}).get("round") == "steady"
+        ]
+        assert sim_phases and all(
+            "cold" in e["args"] and "false_sharing" in e["args"]
+            for e in sim_phases
+        )
+        assert any(e.get("ph") == "C" for e in evs)
+        text = capsys.readouterr().out
+        assert "profile:" in text and "numa:" in text
+
+
+def _workload():
+    """A small but non-trivial compile_all + simulate run (fresh program
+    each call so memoization cannot hide compile work)."""
+    prog = simple.build(n=12, time_steps=2)
+    compiled = compile_all(prog, nprocs=4)
+    machine = scaled_dash(4, scale=32, word_bytes=8)
+    return simulate(compiled.by_scheme(Scheme.COMP_DECOMP_DATA), machine)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestOverhead:
+    def test_disabled_path_under_5_percent(self, monkeypatch):
+        """The disabled instrumentation adds < 5% to compile+simulate.
+
+        The floor is measured with every hook monkeypatched to the
+        cheapest possible stub (the closest approximation of "no
+        instrumentation at all" available without editing source).
+        """
+        obs.disable()
+        _workload()  # warm imports and numpy caches
+
+        with_hooks = _best_of(_workload)
+
+        noop_cm = obs.NOOP_SPAN
+        monkeypatch.setattr(obs, "span", lambda *a, **k: noop_cm)
+        monkeypatch.setattr(obs, "event", lambda *a, **k: None)
+        monkeypatch.setattr(obs, "inc", lambda *a, **k: None)
+        monkeypatch.setattr(obs, "enabled", lambda: False)
+        floor = _best_of(_workload)
+
+        # 5% relative margin plus 5ms absolute slack for timer noise on
+        # very fast runs.
+        assert with_hooks <= floor * 1.05 + 0.005, (
+            f"disabled obs overhead too high: {with_hooks:.4f}s vs "
+            f"floor {floor:.4f}s"
+        )

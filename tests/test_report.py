@@ -1,12 +1,16 @@
 """Tests for result formatting."""
 
+import json
+
 from repro.report import (
     Table1Row,
     at_procs,
     classify_critical,
+    format_profile_table,
     format_speedup_table,
     format_table1,
     markdown_speedup_table,
+    save_experiment,
 )
 
 CURVES = {
@@ -31,6 +35,47 @@ class TestFormatting:
     def test_at_procs(self):
         assert at_procs(CURVES["base"], 4) == 3.5
         assert at_procs(CURVES["base"], 7) is None
+
+
+class TestSaveExperiment:
+    def test_writes_text_only_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_experiment("demo", "hello")
+        assert open(path).read() == "hello\n"
+        assert not (tmp_path / "demo.json").exists()
+
+    def test_writes_json_sibling_with_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        save_experiment(
+            "demo", "hello",
+            metrics={"title": "t", "series": {
+                "base": [[1, 1.0], [4, 3.5]],
+            }},
+        )
+        data = json.loads((tmp_path / "demo.json").read_text())
+        assert data["name"] == "demo"
+        assert data["series"]["base"] == [[1, 1.0], [4, 3.5]]
+
+
+class TestProfileTable:
+    def test_renders_phase_and_array_detail(self):
+        from repro.apps import simple
+        from repro.compiler import Scheme, compile_program
+        from repro.machine import scaled_dash
+        from repro.machine.simulate import simulate
+
+        prog = simple.build(n=16)
+        spmd = compile_program(prog, Scheme.COMP_DECOMP_DATA, 4)
+        res = simulate(spmd, scaled_dash(4, scale=32, word_bytes=8),
+                       detail=True)
+        text = format_profile_table(res)
+        assert "profile:" in text
+        for nest in ("add", "relax"):
+            assert nest in text
+        for arr in ("A", "B", "C"):
+            assert f"\n{arr} " in text
+        assert "numa:" in text
+        assert "conflict sets:" in text
 
 
 class TestTable1:

@@ -90,6 +90,25 @@ class TestSpeedupCurve:
         for series in curves.values():
             assert [p for p, _ in series] == [1, 4]
 
+    def test_zero_time_scheme_falls_back_to_neutral_speedup(self):
+        """A scheme whose simulated time is zero (empty access trace)
+        must report the neutral speedup 1.0, not 0.0, and log an
+        observability event."""
+        from repro import obs
+        from repro.ir.program import Program
+
+        empty = Program(name="empty", arrays={}, nests=[], params={},
+                        time_steps=1)
+        obs.enable(reset=True)
+        try:
+            curves = speedup_curve(empty, [Scheme.BASE], machine, [1, 2])
+            assert curves[Scheme.BASE.value] == [(1, 1.0), (2, 1.0)]
+            assert any(e.name == "sim.zero_time"
+                       for e in obs.collector().events)
+        finally:
+            obs.disable()
+            obs.reset()
+
     def test_figure1_ordering_at_scale(self, prog):
         """The Figure-1 qualitative result: with data transformation the
         program is at least as fast as comp-decomp alone at high P."""
