@@ -16,6 +16,7 @@ import pytest
 from repro.codegen.spmd import Scheme
 from repro.machine import scaled_dash
 from repro.machine.simulate import speedup_curve
+from repro.pipeline import CompileSession
 from repro.report import format_speedup_table, save_experiment
 
 ALL_SCHEMES = [Scheme.BASE, Scheme.COMP_DECOMP, Scheme.COMP_DECOMP_DATA]
@@ -25,11 +26,16 @@ BASE = Scheme.BASE.value
 CD = Scheme.COMP_DECOMP.value
 CDD = Scheme.COMP_DECOMP_DATA.value
 
+# One pipeline session for the whole benchmark run: experiments that
+# sweep the same program at several machine scales recompile nothing.
+SESSION = CompileSession()
+
 
 def run_speedups(prog, machine_kwargs, procs=PROCS, schemes=None):
     """Compile + simulate a program across schemes and processor counts."""
     factory = lambda p: scaled_dash(p, **machine_kwargs)
-    return speedup_curve(prog, schemes or ALL_SCHEMES, factory, procs)
+    return speedup_curve(prog, schemes or ALL_SCHEMES, factory, procs,
+                         session=SESSION)
 
 
 def record(name, title, curves):

@@ -7,14 +7,29 @@ Usage examples::
     python -m repro run stencil5 --n 64 --procs 16 --scale 32
     python -m repro emit simple --scheme data --n 16 --procs 4
     python -m repro profile simple --scheme comp_decomp_data -o trace.json
+    python -m repro batch --apps simple,lu --schemes base,comp,data \\
+        --procs-list 1,4 --jobs 4 --cache-dir /tmp/repro-cache
+
+Caching: every command accepts ``--no-cache`` (run every compiler pass,
+reuse nothing) and ``--cache`` (persist artifacts to a disk store —
+``--cache-dir``, ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  The
+default is an in-process memory cache (plus the disk store when
+``$REPRO_CACHE_DIR``/``$REPRO_CACHE`` is set).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
-from repro.apps import ALL_APPS
+from repro.apps import ALL_APPS, build_app
+from repro.codegen.spmd import (
+    SCHEME_ALIASES,
+    SCHEME_NAMES,
+    parse_scheme,
+)
 from repro.compiler import (
     Scheme,
     compile_program,
@@ -22,31 +37,51 @@ from repro.compiler import (
     restructure_program,
 )
 
-SCHEME_NAMES = {
-    "base": Scheme.BASE,
-    "comp": Scheme.COMP_DECOMP,
-    "data": Scheme.COMP_DECOMP_DATA,
-}
 
-# The profile subcommand also accepts the spelled-out scheme names.
-PROFILE_SCHEMES = {
-    **SCHEME_NAMES,
-    "comp_decomp": Scheme.COMP_DECOMP,
-    "comp_decomp_data": Scheme.COMP_DECOMP_DATA,
-}
+def _build(name: str, n=None, time_steps=None):
+    try:
+        return build_app(name, n=n, time_steps=time_steps)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
-def _build(name: str, n: int):
-    if name not in ALL_APPS:
-        raise SystemExit(
-            f"unknown app {name!r}; available: {', '.join(sorted(ALL_APPS))}"
+def _split_csv(text: str):
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+def _apply_session_args(args):
+    """Install a fresh default session configured per the cache flags;
+    returns it.  (Each CLI command starts cold — in particular
+    ``profile`` traces real pass work — and warms up from the disk
+    store when one is configured.)"""
+    from repro import pipeline
+
+    no_cache = getattr(args, "no_cache", False)
+    cache_dir = getattr(args, "cache_dir", None)
+    want_disk = bool(getattr(args, "cache", False) or cache_dir)
+    if no_cache:
+        session = pipeline.CompileSession(cache=None)
+    elif want_disk:
+        disk = pipeline.resolve_disk_dir(cache_dir)
+        if disk is None:
+            disk = Path("~/.cache/repro").expanduser()
+        session = pipeline.CompileSession(
+            cache=pipeline.ArtifactCache(disk_dir=disk)
         )
-    mod = ALL_APPS[name]
-    import inspect
+    else:
+        session = pipeline.CompileSession()
+    pipeline.set_session(session)
+    return session
 
-    sig = inspect.signature(mod.build)
-    kwargs = {"n": n}
-    return mod.build(**kwargs)
+
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_mutually_exclusive_group()
+    g.add_argument("--cache", action="store_true",
+                   help="persist compiler artifacts to the disk cache")
+    g.add_argument("--no-cache", action="store_true",
+                   help="disable artifact caching entirely")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk cache directory (implies --cache)")
 
 
 def cmd_list(args) -> int:
@@ -59,7 +94,8 @@ def cmd_list(args) -> int:
 
 
 def cmd_decompose(args) -> int:
-    prog = _build(args.app, args.n)
+    _apply_session_args(args)
+    prog = _build(args.app, args.n, args.time_steps)
     from repro.decomp.greedy import decompose_program
 
     decomp = decompose_program(restructure_program(prog), args.procs)
@@ -71,33 +107,90 @@ def cmd_decompose(args) -> int:
 
 
 def cmd_emit(args) -> int:
-    prog = _build(args.app, args.n)
-    spmd = compile_program(prog, SCHEME_NAMES[args.scheme], args.procs)
+    _apply_session_args(args)
+    prog = _build(args.app, args.n, args.time_steps)
+    spmd = compile_program(prog, parse_scheme(args.scheme), args.procs)
     print(emit_c_program(spmd))
     return 0
 
 
 def cmd_run(args) -> int:
-    from repro.machine import scaled_dash
-    from repro.machine.simulate import speedup_curve
     from repro.report import format_speedup_table
 
-    prog = _build(args.app, args.n)
+    session = _apply_session_args(args)
+    prog = _build(args.app, args.n, args.time_steps)
     schemes = (
-        [SCHEME_NAMES[args.scheme]]
+        [parse_scheme(args.scheme)]
         if args.scheme != "all"
         else list(SCHEME_NAMES.values())
     )
-    factory = lambda p: scaled_dash(
-        p, scale=args.scale,
-        word_bytes=min(d.element_size for d in prog.arrays.values()),
-    )
     procs = [int(x) for x in args.procs_list.split(",")]
-    curves = speedup_curve(prog, schemes, factory, procs)
+    if args.jobs > 1:
+        curves = _parallel_speedup_curves(args, schemes, procs)
+    else:
+        from repro.machine import scaled_dash
+        from repro.machine.simulate import speedup_curve
+
+        factory = lambda p: scaled_dash(
+            p, scale=args.scale,
+            word_bytes=min(d.element_size for d in prog.arrays.values()),
+        )
+        curves = speedup_curve(prog, schemes, factory, procs,
+                               session=session)
     print(format_speedup_table(
         curves, title=f"{args.app} N={args.n}, scaled DASH /{args.scale}"
     ))
     return 0
+
+
+def _parallel_speedup_curves(args, schemes, procs):
+    """The speedup sweep via the batch driver (identical math to the
+    serial path: one decomposition pinned at max(procs), speedups over
+    BASE on one processor)."""
+    from repro import obs
+    from repro.pipeline.batch import BatchPoint, run_batch
+
+    maxp = max(procs)
+    coords = [(Scheme.BASE, 1)]
+    for scheme in schemes:
+        for p in procs:
+            if (scheme, p) not in coords:
+                coords.append((scheme, p))
+    points = [
+        BatchPoint(
+            app=args.app, scheme=scheme.value, nprocs=p, n=args.n,
+            time_steps=args.time_steps, scale=args.scale,
+            decomp_procs=None if scheme is Scheme.BASE else maxp,
+        )
+        for scheme, p in coords
+    ]
+    results = run_batch(
+        points, jobs=args.jobs,
+        cache=not args.no_cache,
+        disk_dir=args.cache_dir,
+    )
+    for r in results:
+        if not r.ok:
+            raise SystemExit(
+                f"point {r.point.label()} failed:\n{r.error}"
+            )
+    by_coord = {c: r for c, r in zip(coords, results)}
+    seq_time = by_coord[(Scheme.BASE, 1)].total_time
+    curves = {}
+    for scheme in schemes:
+        series = []
+        for p in procs:
+            t = by_coord[(scheme, p)].total_time
+            if t > 0.0:
+                s = seq_time / t
+            else:
+                s = 1.0
+                obs.event("sim.zero_time", cat="machine",
+                          scheme=scheme.value, nprocs=p,
+                          seq_time=seq_time)
+            series.append((p, s))
+        curves[scheme.value] = series
+    return curves
 
 
 def cmd_profile(args) -> int:
@@ -107,9 +200,10 @@ def cmd_profile(args) -> int:
     from repro.obs.export import summary, write_chrome_trace, write_json
     from repro.report import format_profile_table
 
+    _apply_session_args(args)
     obs.enable(reset=True)
-    prog = _build(args.app, args.n)
-    scheme = PROFILE_SCHEMES[args.scheme]
+    prog = _build(args.app, args.n, args.time_steps)
+    scheme = parse_scheme(args.scheme)
     machine = scaled_dash(
         args.procs, scale=args.scale,
         word_bytes=min(d.element_size for d in prog.arrays.values()),
@@ -133,6 +227,80 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from repro.pipeline.batch import make_grid, run_batch, summarize
+
+    apps = _split_csv(args.apps)
+    for a in apps:
+        if a not in ALL_APPS:
+            raise SystemExit(
+                f"unknown app {a!r}; available: "
+                f"{', '.join(sorted(ALL_APPS))}"
+            )
+    try:
+        schemes = [parse_scheme(s) for s in _split_csv(args.schemes)]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    procs = [int(x) for x in args.procs_list.split(",")]
+
+    points = make_grid(
+        apps, [s.value for s in schemes], procs,
+        n=args.n, time_steps=args.time_steps, scale=args.scale,
+        pin_decomp=args.pin_decomp,
+    )
+    disk_dir = None
+    if not args.no_cache:
+        from repro.pipeline import resolve_disk_dir
+
+        disk = resolve_disk_dir(args.cache_dir)
+        if disk is None and args.cache:
+            disk = Path("~/.cache/repro").expanduser()
+        disk_dir = str(disk) if disk is not None else None
+    results = run_batch(
+        points, jobs=args.jobs,
+        cache=not args.no_cache, disk_dir=disk_dir,
+    )
+
+    print(f"{'app':12s} {'scheme':6s} {'P':>3s} {'time':>12s} "
+          f"{'accesses':>10s} {'runs':>5s} {'hits':>5s}  status")
+    for r in results:
+        p = r.point
+        if r.ok:
+            print(f"{p.app:12s} {p.scheme:6s} {p.nprocs:3d} "
+                  f"{r.total_time:12.4e} {r.n_accesses:10d} "
+                  f"{sum(r.pass_runs.values()):5d} "
+                  f"{sum(r.pass_hits.values()):5d}  ok")
+        else:
+            first = r.error.strip().splitlines()[-1] if r.error else "?"
+            print(f"{p.app:12s} {p.scheme:6s} {p.nprocs:3d} "
+                  f"{'-':>12s} {'-':>10s} {'-':>5s} {'-':>5s}  "
+                  f"ERROR: {first}")
+    agg = summarize(results)
+    runs = ", ".join(f"{k}={v}" for k, v in sorted(agg["pass_runs"].items()))
+    hits = ", ".join(f"{k}={v}" for k, v in sorted(agg["pass_hits"].items()))
+    print(f"\npoints: {agg['points']}  ok: {agg['ok']}  "
+          f"errors: {agg['errors']}")
+    print(f"pass executions: {runs or 'none'} "
+          f"(total {agg['total_pass_runs']})")
+    print(f"cache hits: {hits or 'none'}")
+    print(f"fully cached: {'yes' if agg['fully_cached'] else 'no'}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {"summary": agg,
+                 "results": [r.as_dict() for r in results]},
+                fh, indent=2, default=str,
+            )
+        print(f"wrote JSON results to {args.json}")
+
+    if args.expect_cached and not agg["fully_cached"]:
+        print("error: --expect-cached but passes executed",
+              file=sys.stderr)
+        return 1
+    return 1 if agg["errors"] else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,21 +314,29 @@ def main(argv=None) -> int:
     p.add_argument("app")
     p.add_argument("--n", type=int, default=32)
     p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--time-steps", type=int, default=None)
     p.add_argument("--verbose", action="store_true")
+    _add_cache_flags(p)
 
     p = sub.add_parser("emit", help="emit the SPMD C source")
     p.add_argument("app")
     p.add_argument("--n", type=int, default=16)
     p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--time-steps", type=int, default=None)
     p.add_argument("--scheme", choices=sorted(SCHEME_NAMES), default="data")
+    _add_cache_flags(p)
 
     p = sub.add_parser("run", help="simulate and print speedups")
     p.add_argument("app")
     p.add_argument("--n", type=int, default=48)
     p.add_argument("--procs-list", default="1,2,4,8,16,32")
     p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--time-steps", type=int, default=None)
     p.add_argument("--scheme", choices=sorted(SCHEME_NAMES) + ["all"],
                    default="all")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="run the sweep's points across N processes")
+    _add_cache_flags(p)
 
     p = sub.add_parser(
         "profile",
@@ -170,12 +346,39 @@ def main(argv=None) -> int:
     p.add_argument("--n", type=int, default=32)
     p.add_argument("--procs", type=int, default=8)
     p.add_argument("--scale", type=int, default=16)
-    p.add_argument("--scheme", choices=sorted(PROFILE_SCHEMES),
+    p.add_argument("--time-steps", type=int, default=None)
+    p.add_argument("--scheme", choices=sorted(SCHEME_ALIASES),
                    default="comp_decomp_data")
     p.add_argument("-o", "--output", default=None,
                    help="trace output path (Chrome trace-event JSON)")
     p.add_argument("--format", choices=["chrome", "json"], default="chrome",
                    help="output format: Chrome trace events or full dump")
+    _add_cache_flags(p)
+
+    p = sub.add_parser(
+        "batch",
+        help="compile + simulate a grid of (app, scheme, nprocs) points",
+    )
+    p.add_argument("--apps", default="simple",
+                   help="comma-separated app names")
+    p.add_argument("--schemes", default="base,comp,data",
+                   help="comma-separated scheme names (any alias)")
+    p.add_argument("--procs-list", default="1,4",
+                   help="comma-separated processor counts")
+    p.add_argument("--n", type=int, default=None,
+                   help="problem size forwarded to each app builder")
+    p.add_argument("--time-steps", type=int, default=None)
+    p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (<=1: serial, shared session)")
+    p.add_argument("--pin-decomp", action="store_true",
+                   help="derive one decomposition at max(procs) per app")
+    p.add_argument("--json", default=None,
+                   help="write per-point results + summary as JSON")
+    p.add_argument("--expect-cached", action="store_true",
+                   help="exit nonzero unless the whole grid was served "
+                        "from the cache (CI warm-run guard)")
+    _add_cache_flags(p)
 
     args = parser.parse_args(argv)
     return {
@@ -184,6 +387,7 @@ def main(argv=None) -> int:
         "emit": cmd_emit,
         "run": cmd_run,
         "profile": cmd_profile,
+        "batch": cmd_batch,
     }[args.command](args)
 
 

@@ -32,4 +32,32 @@ ALL_APPS = {
     "tomcatv": tomcatv,
 }
 
-__all__ = ["ALL_APPS"] + list(ALL_APPS)
+
+def build_app(name: str, **kwargs):
+    """Build a benchmark program by name, forwarding only the keyword
+    arguments its builder accepts.
+
+    Raises ``ValueError`` for an unknown app name or for a keyword the
+    app's ``build`` does not take (e.g. ``time_steps`` for ``lu``,
+    whose time behaviour is inherent to the factorization).  ``None``
+    values mean "use the builder's default" and are dropped.
+    """
+    import inspect
+
+    mod = ALL_APPS.get(name)
+    if mod is None:
+        raise ValueError(
+            f"unknown app {name!r}; available: {', '.join(sorted(ALL_APPS))}"
+        )
+    kwargs = {k: v for k, v in kwargs.items() if v is not None}
+    params = inspect.signature(mod.build).parameters
+    unknown = sorted(k for k in kwargs if k not in params)
+    if unknown:
+        raise ValueError(
+            f"app {name!r} builder does not accept: {', '.join(unknown)} "
+            f"(it takes: {', '.join(params)})"
+        )
+    return mod.build(**kwargs)
+
+
+__all__ = ["ALL_APPS", "build_app"] + list(ALL_APPS)

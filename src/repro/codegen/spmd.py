@@ -47,6 +47,49 @@ class Scheme(Enum):
     COMP_DECOMP_DATA = "comp decomp + data transform"
 
 
+#: Canonical short name per scheme (stable CLI/report vocabulary).
+SCHEME_NAMES: Dict[str, "Scheme"] = {}  # populated below
+
+#: Every accepted spelling (short names, identifier-style long names,
+#: and the enum values themselves) → scheme.
+SCHEME_ALIASES: Dict[str, "Scheme"] = {}
+
+SCHEME_NAMES.update({
+    "base": Scheme.BASE,
+    "comp": Scheme.COMP_DECOMP,
+    "data": Scheme.COMP_DECOMP_DATA,
+})
+SCHEME_ALIASES.update(SCHEME_NAMES)
+SCHEME_ALIASES.update({
+    "comp_decomp": Scheme.COMP_DECOMP,
+    "comp_decomp_data": Scheme.COMP_DECOMP_DATA,
+    Scheme.BASE.value: Scheme.BASE,
+    Scheme.COMP_DECOMP.value: Scheme.COMP_DECOMP,
+    Scheme.COMP_DECOMP_DATA.value: Scheme.COMP_DECOMP_DATA,
+})
+
+
+def parse_scheme(name) -> "Scheme":
+    """Resolve any accepted scheme spelling (or a Scheme) to a Scheme."""
+    if isinstance(name, Scheme):
+        return name
+    try:
+        return SCHEME_ALIASES[str(name).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; accepted: "
+            f"{', '.join(sorted(SCHEME_ALIASES))}"
+        ) from None
+
+
+def scheme_short_name(scheme: "Scheme") -> str:
+    """The canonical short name of a scheme (inverse of SCHEME_NAMES)."""
+    for short, s in SCHEME_NAMES.items():
+        if s is scheme:
+            return short
+    raise ValueError(f"no short name for {scheme!r}")  # pragma: no cover
+
+
 class SyncKind(Enum):
     BARRIER = "barrier"
     NONE = "none"
@@ -166,22 +209,56 @@ def _barriers_per_execution(
     return max(1, outer.count_iterations(params))
 
 
+def derive_program_layout(
+    prog: Program,
+    decomp: Decomposition,
+    grid: Tuple[int, ...],
+    restructure: bool,
+    line_pad_elements: Optional[int] = None,
+) -> Dict[str, TransformedArray]:
+    """Derive every array's (possibly restructured) layout under a
+    decomposition — the pipeline's standalone layout pass.
+
+    An array whose decomposition falls outside the data-transform
+    restriction (e.g. a hand-supplied general affine mapping) keeps its
+    original layout rather than failing.
+    """
+    transformed: Dict[str, TransformedArray] = {}
+    for name, decl in prog.arrays.items():
+        try:
+            transformed[name] = derive_layout(
+                decl,
+                decomp.data_for(name),
+                decomp.foldings,
+                grid,
+                restructure=restructure,
+                line_pad_elements=line_pad_elements,
+            )
+        except ValueError:
+            transformed[name] = identity_transform(decl)
+    return transformed
+
+
 def generate_spmd(
     prog: Program,
     scheme: Scheme,
     nprocs: int,
     decomp: Optional[Decomposition] = None,
     line_pad_elements: Optional[int] = None,
+    transformed: Optional[Dict[str, TransformedArray]] = None,
 ) -> SpmdProgram:
     """Build the SPMD execution plan for one compiler configuration.
 
     ``line_pad_elements`` (data scheme only) pads each restructured
     partition to a cache-line multiple; see
-    :func:`repro.datatrans.transform.derive_layout`.
+    :func:`repro.datatrans.transform.derive_layout`.  ``transformed``
+    optionally supplies precomputed layouts (the pipeline's layout-pass
+    artifact); when omitted they are derived here.
     """
     with obs.span("codegen.spmd", cat="codegen", program=prog.name,
                   scheme=scheme.value, nprocs=nprocs) as sp:
-        out = _generate_impl(prog, scheme, nprocs, decomp, line_pad_elements)
+        out = _generate_impl(prog, scheme, nprocs, decomp,
+                             line_pad_elements, transformed)
         sp.set(phases=len(out.phases), grid=list(out.grid))
         return out
 
@@ -192,14 +269,17 @@ def _generate_impl(
     nprocs: int,
     decomp: Optional[Decomposition] = None,
     line_pad_elements: Optional[int] = None,
+    transformed: Optional[Dict[str, TransformedArray]] = None,
 ) -> SpmdProgram:
     params = prog.params
 
     if scheme is Scheme.BASE:
         phases: List[SpmdPhase] = []
-        transformed = {
-            name: identity_transform(decl) for name, decl in prog.arrays.items()
-        }
+        if transformed is None:
+            transformed = {
+                name: identity_transform(decl)
+                for name, decl in prog.arrays.items()
+            }
         for nest in prog.nests:
             res = expose_outer_parallelism(nest, params)
             n = res.nest
@@ -254,22 +334,12 @@ def _generate_impl(
         raise ValueError(f"{scheme} requires a decomposition")
     grid = grid_shape(nprocs, decomp.rank)
     restructure = scheme is Scheme.COMP_DECOMP_DATA
-    transformed = {}
-    for name, decl in prog.arrays.items():
-        try:
-            transformed[name] = derive_layout(
-                decl,
-                decomp.data_for(name),
-                decomp.foldings,
-                grid,
-                restructure=restructure,
-                line_pad_elements=line_pad_elements if restructure else None,
-            )
-        except ValueError:
-            # A decomposition outside the data-transform restriction
-            # (e.g. supplied by hand): keep the original layout rather
-            # than fail — the array simply is not restructured.
-            transformed[name] = identity_transform(decl)
+    if transformed is None:
+        transformed = derive_program_layout(
+            prog, decomp, grid,
+            restructure=restructure,
+            line_pad_elements=line_pad_elements if restructure else None,
+        )
 
     phases = []
     for nest in prog.nests:

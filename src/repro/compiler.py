@@ -12,6 +12,13 @@ Mirrors the three configurations measured in Section 6:
   distributed array with Section 4's strip-mine + permute algorithm so
   each processor's data are contiguous.
 
+Since PR 2 the actual staging lives in :mod:`repro.pipeline` — typed
+passes (restructure → decompose → layout → spmd-codegen) run by a
+:class:`~repro.pipeline.session.CompileSession` over a
+content-addressed artifact cache.  The functions here are thin,
+signature-compatible wrappers over the process-wide default session;
+construct your own session for isolation or a disk-backed cache.
+
 ``compile_program`` produces the SPMD plan the machine model replays;
 ``emit_c_program`` (re-exported) renders it as C-like source.
 """
@@ -19,15 +26,13 @@ Mirrors the three configurations measured in Section 6:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Optional
 
-from repro import obs
-from repro.analysis.unimodular import expose_outer_parallelism
 from repro.codegen.emit_c import emit_c_program
-from repro.codegen.spmd import Scheme, SpmdProgram, generate_spmd
-from repro.decomp.greedy import decompose_program
+from repro.codegen.spmd import Scheme, SpmdProgram
 from repro.decomp.model import Decomposition
 from repro.ir.program import Program
+from repro.pipeline.session import get_session
 
 __all__ = [
     "Scheme",
@@ -46,36 +51,12 @@ def restructure_program(prog: Program) -> Program:
     column-major arrays).  Every compiler configuration — including
     BASE — starts from this form, as in the paper.
 
-    The result is memoized on the program object.
+    Memoized by program *content* in the default session's artifact
+    cache (the result of restructuring a program twice — or
+    restructuring an already-restructured program — is the same
+    object); the input program is never mutated.
     """
-    cached = getattr(prog, "_restructured", None)
-    if cached is not None:
-        return cached
-    nests = []
-    with obs.span("compiler.restructure", cat="compiler",
-                  program=prog.name):
-        for nest in prog.nests:
-            with obs.span("unimodular.nest", cat="compiler",
-                          nest=nest.name) as sp:
-                res = expose_outer_parallelism(nest, prog.params)
-                sp.set(
-                    transformed=res.nest is not nest,
-                    outer_parallel=res.outer_parallel_count,
-                )
-                nests.append(res.nest)
-    out = Program(
-        name=prog.name,
-        arrays=dict(prog.arrays),
-        nests=nests,
-        params=dict(prog.params),
-        time_steps=prog.time_steps,
-    )
-    try:
-        prog._restructured = out  # type: ignore[attr-defined]
-        out._restructured = out  # type: ignore[attr-defined]
-    except Exception:  # pragma: no cover
-        pass
-    return out
+    return get_session().restructure(prog)
 
 
 def compile_program(
@@ -89,17 +70,11 @@ def compile_program(
 
     A precomputed decomposition may be supplied (e.g. from HPF
     directives via :mod:`repro.decomp.hpf`); otherwise the greedy
-    algorithm runs.
+    algorithm runs (or its cached artifact is reused).
     """
-    prog.validate()
-    with obs.span("compiler.compile", cat="compiler", program=prog.name,
-                  scheme=scheme.value, nprocs=nprocs):
-        rprog = restructure_program(prog)
-        if scheme is Scheme.BASE:
-            return generate_spmd(rprog, scheme, nprocs)
-        if decomp is None:
-            decomp = decompose_program(rprog, nprocs, max_dims=max_dims)
-        return generate_spmd(rprog, scheme, nprocs, decomp=decomp)
+    return get_session().compile(
+        prog, scheme, nprocs, decomp=decomp, max_dims=max_dims
+    )
 
 
 @dataclass
@@ -124,18 +99,4 @@ def compile_all(
     prog: Program, nprocs: int, max_dims: int = 2
 ) -> CompiledProgram:
     """Compile a program under all three Section-6 configurations."""
-    prog.validate()
-    with obs.span("compiler.compile_all", cat="compiler",
-                  program=prog.name, nprocs=nprocs):
-        rprog = restructure_program(prog)
-        decomp = decompose_program(rprog, nprocs, max_dims=max_dims)
-        return CompiledProgram(
-            base=generate_spmd(rprog, Scheme.BASE, nprocs),
-            comp_decomp=generate_spmd(
-                rprog, Scheme.COMP_DECOMP, nprocs, decomp=decomp
-            ),
-            comp_decomp_data=generate_spmd(
-                rprog, Scheme.COMP_DECOMP_DATA, nprocs, decomp=decomp
-            ),
-            decomposition=decomp,
-        )
+    return get_session().compile_all(prog, nprocs, max_dims=max_dims)

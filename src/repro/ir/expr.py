@@ -39,6 +39,12 @@ class AffineExpr:
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("AffineExpr is immutable")
 
+    def __reduce__(self):
+        # Slots + the immutability guard break the default pickle/copy
+        # path (it restores state via setattr); rebuild through the
+        # constructor instead.
+        return (AffineExpr, (dict(self.coeffs), self.const))
+
     # -- constructors -----------------------------------------------------
 
     @staticmethod

@@ -251,11 +251,13 @@ def simulate_scheme(
     scheme: Scheme,
     machine: DashConfig,
     decomp=None,
+    session=None,
 ) -> SimResult:
     """Compile (SPMD-plan) and simulate a program under one scheme."""
-    from repro.compiler import compile_program
+    from repro.pipeline.session import get_session
 
-    spmd = compile_program(prog, scheme, machine.nprocs, decomp=decomp)
+    session = session or get_session()
+    spmd = session.compile(prog, scheme, machine.nprocs, decomp=decomp)
     return simulate(spmd, machine)
 
 
@@ -264,34 +266,35 @@ def speedup_curve(
     schemes: Sequence[Scheme],
     machine_factory,
     procs: Sequence[int],
+    session=None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Speedups over the best sequential version for each scheme.
 
     ``machine_factory(nprocs)`` builds the machine; the sequential
     baseline is the BASE scheme on one processor (every access local).
 
-    The decomposition is processor-count independent, so it is computed
-    once and reused for every point of the sweep.
+    The decomposition is processor-count independent, so every point of
+    the sweep shares the one derived at ``max(procs)``
+    (``decomp_nprocs``); with the session's artifact cache it is
+    computed once.  Pass a dedicated
+    :class:`~repro.pipeline.session.CompileSession` for isolation; the
+    default session is used otherwise.
     """
-    from repro.compiler import compile_program, restructure_program
-    from repro.decomp.greedy import decompose_program
+    from repro.pipeline.session import get_session
 
-    rprog = restructure_program(prog)
-    decomp = None
-    if any(s is not Scheme.BASE for s in schemes):
-        decomp = decompose_program(rprog, max(procs))
-
+    session = session or get_session()
+    maxp = max(procs)
     seq_machine = machine_factory(1)
-    seq_spmd = compile_program(prog, Scheme.BASE, 1)
+    seq_spmd = session.compile(prog, Scheme.BASE, 1)
     seq = simulate(seq_spmd, seq_machine)
     out: Dict[str, List[Tuple[int, float]]] = {}
     for scheme in schemes:
         series = []
         for p in procs:
             machine = machine_factory(p)
-            spmd = compile_program(
+            spmd = session.compile(
                 prog, scheme, p,
-                decomp=decomp if scheme is not Scheme.BASE else None,
+                decomp_nprocs=maxp if scheme is not Scheme.BASE else None,
             )
             res = simulate(spmd, machine)
             if res.total_time > 0.0:

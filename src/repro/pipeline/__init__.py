@@ -1,0 +1,70 @@
+"""The pass-pipeline compiler core.
+
+The compile-and-simulate path is organized as an explicit pipeline of
+typed passes (restructure → decompose → layout → spmd-codegen) run by a
+:class:`~repro.pipeline.manager.PassManager` against a
+content-addressed :class:`~repro.pipeline.cache.ArtifactCache`
+(in-memory LRU plus an optional on-disk store shared across processes
+and runs).  A :class:`~repro.pipeline.session.CompileSession` fronts the
+pipeline; :mod:`repro.compiler` keeps the historical
+``compile_program`` / ``compile_all`` / ``restructure_program``
+signatures as thin wrappers over the process-wide default session.
+
+:mod:`repro.pipeline.batch` fans grids of ``(app, scheme, nprocs)``
+points across a process pool with per-point error isolation.
+"""
+
+from repro.pipeline.cache import MISS, ArtifactCache, CacheStats, resolve_disk_dir
+from repro.pipeline.fingerprint import (
+    fingerprint_decomposition,
+    fingerprint_program,
+    make_key,
+)
+from repro.pipeline.manager import PassManager
+from repro.pipeline.passes import (
+    ALL_PASSES,
+    ART_DECOMPOSITION,
+    ART_LAYOUT,
+    ART_PROGRAM,
+    ART_RESTRUCTURED,
+    ART_SPMD,
+    DecomposePass,
+    LayoutPass,
+    Pass,
+    PassContext,
+    RestructurePass,
+    SpmdCodegenPass,
+)
+from repro.pipeline.session import (
+    CompileSession,
+    get_session,
+    reset_session,
+    set_session,
+)
+
+__all__ = [
+    "MISS",
+    "ArtifactCache",
+    "CacheStats",
+    "resolve_disk_dir",
+    "fingerprint_program",
+    "fingerprint_decomposition",
+    "make_key",
+    "PassManager",
+    "Pass",
+    "PassContext",
+    "RestructurePass",
+    "DecomposePass",
+    "LayoutPass",
+    "SpmdCodegenPass",
+    "ALL_PASSES",
+    "ART_PROGRAM",
+    "ART_RESTRUCTURED",
+    "ART_DECOMPOSITION",
+    "ART_LAYOUT",
+    "ART_SPMD",
+    "CompileSession",
+    "get_session",
+    "set_session",
+    "reset_session",
+]

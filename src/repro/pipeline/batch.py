@@ -1,0 +1,252 @@
+"""Parallel batch driver: fan a compile+simulate grid across processes.
+
+A batch is a list of :class:`BatchPoint` — one ``(app, scheme, nprocs)``
+coordinate plus problem-size/machine knobs.  :func:`run_batch` executes
+every point with per-point error isolation (a failing point yields a
+``BatchResult`` carrying its traceback; the rest of the grid is
+unaffected) either serially in-process (``jobs <= 1``, one shared
+session so artifacts are reused across points) or across a
+``ProcessPoolExecutor``.  Workers keep one session per process; give
+the batch a disk cache directory to share artifacts *between*
+processes and *across* runs — a warm second run then reports
+``fully_cached`` (zero pass executions), which CI asserts.
+
+Simulation is deterministic, so the parallel path produces results
+identical to the serial one point-for-point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.codegen.spmd import parse_scheme, scheme_short_name
+
+__all__ = [
+    "BatchPoint",
+    "BatchResult",
+    "make_grid",
+    "run_batch",
+    "run_point",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One grid coordinate.
+
+    ``scheme`` accepts any spelling from
+    :data:`repro.codegen.spmd.SCHEME_ALIASES` and is normalized to the
+    canonical short name.  ``decomp_procs`` optionally pins the
+    processor count the decomposition's folding is chosen for (sweeps
+    pass their maximum so all points share one decomposition, matching
+    the serial ``speedup_curve`` convention).
+    """
+
+    app: str
+    scheme: str
+    nprocs: int
+    n: Optional[int] = None
+    time_steps: Optional[int] = None
+    scale: int = 16
+    decomp_procs: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "scheme", scheme_short_name(parse_scheme(self.scheme))
+        )
+
+    def label(self) -> str:
+        size = f" n={self.n}" if self.n is not None else ""
+        return f"{self.app}/{self.scheme} P={self.nprocs}{size}"
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one point (simulation scalars + cache effectiveness)."""
+
+    point: BatchPoint
+    ok: bool
+    total_time: float = 0.0
+    n_accesses: int = 0
+    miss_breakdown: Dict[str, int] = field(default_factory=dict)
+    pass_runs: Dict[str, int] = field(default_factory=dict)
+    pass_hits: Dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+    error: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["point"] = asdict(self.point)
+        return out
+
+
+def make_grid(
+    apps: Sequence[str],
+    schemes: Sequence[str],
+    procs: Sequence[int],
+    n: Optional[int] = None,
+    time_steps: Optional[int] = None,
+    scale: int = 16,
+    pin_decomp: bool = False,
+) -> List[BatchPoint]:
+    """The cartesian ``apps x schemes x procs`` grid.  ``pin_decomp``
+    fixes every point's decomposition at ``max(procs)``."""
+    dp = max(procs) if pin_decomp and procs else None
+    return [
+        BatchPoint(app=a, scheme=s, nprocs=p, n=n, time_steps=time_steps,
+                   scale=scale, decomp_procs=dp)
+        for a, s, p in itertools.product(apps, schemes, procs)
+    ]
+
+
+def _point_session(point: BatchPoint, session):
+    """Compile + simulate one point on the session (may raise)."""
+    from repro.apps import build_app
+    from repro.codegen.spmd import parse_scheme
+    from repro.machine import scaled_dash
+    from repro.machine.simulate import simulate
+
+    kwargs = {}
+    if point.n is not None:
+        kwargs["n"] = point.n
+    if point.time_steps is not None:
+        kwargs["time_steps"] = point.time_steps
+    prog = build_app(point.app, **kwargs)
+    machine = scaled_dash(
+        point.nprocs, scale=point.scale,
+        word_bytes=min(d.element_size for d in prog.arrays.values()),
+    )
+    before = session.manager.counts()
+    t0 = time.perf_counter()
+    spmd = session.compile(
+        prog, parse_scheme(point.scheme), point.nprocs,
+        decomp_nprocs=point.decomp_procs,
+    )
+    res = simulate(spmd, machine)
+    elapsed = time.perf_counter() - t0
+    after = session.manager.counts()
+
+    def _delta(kind: str) -> Dict[str, int]:
+        prev = before[kind]
+        return {
+            name: count - prev.get(name, 0)
+            for name, count in after[kind].items()
+            if count - prev.get(name, 0)
+        }
+
+    return BatchResult(
+        point=point,
+        ok=True,
+        total_time=res.total_time,
+        n_accesses=res.n_accesses,
+        miss_breakdown=dict(res.miss_breakdown),
+        pass_runs=_delta("runs"),
+        pass_hits=_delta("hits"),
+        elapsed=elapsed,
+    )
+
+
+def run_point(point: BatchPoint, session) -> BatchResult:
+    """Run one point with error isolation (never raises)."""
+    try:
+        return _point_session(point, session)
+    except BaseException as exc:  # isolate even SystemExit from a point
+        if isinstance(exc, KeyboardInterrupt):
+            raise
+        return BatchResult(
+            point=point, ok=False,
+            error=traceback.format_exc(limit=20),
+        )
+
+
+# -- worker-process plumbing -------------------------------------------------
+
+_worker_session = None
+_worker_config: Optional[Tuple[Optional[str], bool]] = None
+
+
+def _make_session(disk_dir: Optional[str], cache: bool):
+    from repro.pipeline.cache import ArtifactCache
+    from repro.pipeline.session import CompileSession
+
+    if not cache:
+        return CompileSession(cache=None)
+    return CompileSession(cache=ArtifactCache(disk_dir=disk_dir))
+
+
+def _worker_run(payload) -> BatchResult:
+    global _worker_session, _worker_config
+    point_dict, disk_dir, cache = payload
+    config = (disk_dir, cache)
+    if _worker_session is None or _worker_config != config:
+        _worker_session = _make_session(disk_dir, cache)
+        _worker_config = config
+    return run_point(BatchPoint(**point_dict), _worker_session)
+
+
+# -- the driver --------------------------------------------------------------
+
+def run_batch(
+    points: Iterable[BatchPoint],
+    jobs: int = 1,
+    cache: bool = True,
+    disk_dir: Optional[str] = None,
+) -> List[BatchResult]:
+    """Run every point; results come back in input order.
+
+    ``jobs <= 1`` runs serially in-process on one shared session;
+    ``jobs > 1`` fans out over a process pool (``disk_dir`` makes the
+    artifact cache shared across workers and across batch runs).
+    """
+    points = list(points)
+    if jobs <= 1:
+        session = _make_session(disk_dir, cache)
+        return [run_point(p, session) for p in points]
+
+    payloads = [(asdict(p), disk_dir, cache) for p in points]
+    results: List[Optional[BatchResult]] = [None] * len(points)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_worker_run, payload): i
+            for i, payload in enumerate(payloads)
+        }
+        for fut, i in futures.items():
+            try:
+                results[i] = fut.result()
+            except Exception:
+                # The worker process itself died (not a point failure,
+                # which run_point already isolates).
+                results[i] = BatchResult(
+                    point=points[i], ok=False,
+                    error=traceback.format_exc(limit=5),
+                )
+    return [r for r in results if r is not None]
+
+
+def summarize(results: Sequence[BatchResult]) -> Dict[str, object]:
+    """Aggregate counters over a batch; ``fully_cached`` is True when
+    no pass executed anywhere (every artifact came from the cache)."""
+    runs: Dict[str, int] = {}
+    hits: Dict[str, int] = {}
+    for r in results:
+        for name, c in r.pass_runs.items():
+            runs[name] = runs.get(name, 0) + c
+        for name, c in r.pass_hits.items():
+            hits[name] = hits.get(name, 0) + c
+    total_runs = sum(runs.values())
+    errors = [r for r in results if not r.ok]
+    return {
+        "points": len(results),
+        "ok": len(results) - len(errors),
+        "errors": len(errors),
+        "pass_runs": runs,
+        "pass_hits": hits,
+        "total_pass_runs": total_runs,
+        "fully_cached": bool(results) and total_runs == 0,
+    }

@@ -1,0 +1,89 @@
+"""Pickling for pipeline artifacts, tolerant of IR compute callables.
+
+Cached artifacts (restructured programs, SPMD plans) embed the
+``Statement.compute`` callables of the source program, which are
+usually lambdas defined inside an app's ``build`` function — exactly
+what the stock pickler refuses to serialize.  The disk store therefore
+uses a :class:`Pickler` with a ``reducer_override`` that marshals the
+function's code object and records its name, defaults, closure values
+and defining module; :func:`_rebuild_function` reassembles a behaviour-
+identical function at load time.
+
+``marshal`` bytecode is only guaranteed stable within one interpreter
+version, so the on-disk cache namespaces its directory by the running
+Python version (see :mod:`repro.pipeline.cache`).
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import marshal
+import pickle
+import sys
+import types
+from typing import Any
+
+__all__ = ["dumps", "loads"]
+
+
+def _rebuild_function(code_bytes, name, qualname, module, defaults, cells):
+    code = marshal.loads(code_bytes)
+    mod = sys.modules.get(module)
+    glb = mod.__dict__ if mod is not None else {"__builtins__": builtins}
+    closure = None
+    if cells is not None:
+        closure = tuple(types.CellType(v) for v in cells)
+    fn = types.FunctionType(code, glb, name, defaults, closure)
+    fn.__qualname__ = qualname
+    return fn
+
+
+def _importable(obj: types.FunctionType) -> bool:
+    """True when stock pickling (by module + qualname reference) works."""
+    if "<locals>" in obj.__qualname__ or obj.__name__ == "<lambda>":
+        return False
+    mod = sys.modules.get(obj.__module__)
+    if mod is None:
+        return False
+    target = mod
+    for part in obj.__qualname__.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            return False
+    return target is obj
+
+
+class _FunctionPickler(pickle.Pickler):
+    def reducer_override(self, obj: Any):
+        # Only intercept functions the stock pickler would reject
+        # (lambdas, nested defs).  Importable functions — including
+        # ``_rebuild_function`` itself, which appears as the reduce
+        # callable — must pickle by reference or the override recurses.
+        if isinstance(obj, types.FunctionType) and not _importable(obj):
+            try:
+                code_bytes = marshal.dumps(obj.__code__)
+            except ValueError:  # pragma: no cover - exotic code object
+                return NotImplemented
+            cells = None
+            if obj.__closure__ is not None:
+                cells = tuple(c.cell_contents for c in obj.__closure__)
+            return _rebuild_function, (
+                code_bytes,
+                obj.__name__,
+                obj.__qualname__,
+                obj.__module__,
+                obj.__defaults__,
+                cells,
+            )
+        return NotImplemented
+
+
+def dumps(obj: Any) -> bytes:
+    buf = io.BytesIO()
+    _FunctionPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
+
+
+def loads(data: bytes) -> Any:
+    return pickle.loads(data)

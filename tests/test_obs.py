@@ -21,13 +21,19 @@ from repro.machine.simulate import simulate
 
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
-    """Every test starts disabled with an empty collector and leaves no
-    global state behind."""
+    """Every test starts disabled with an empty collector, a cold
+    pipeline session (so compiles do real pass work rather than hitting
+    artifacts cached by earlier tests), and leaves no global state
+    behind."""
+    from repro import pipeline
+
     obs.disable()
     obs.reset()
+    pipeline.reset_session()
     yield
     obs.disable()
     obs.reset()
+    pipeline.reset_session()
 
 
 class TestSpans:

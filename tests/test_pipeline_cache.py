@@ -1,0 +1,295 @@
+"""The pass pipeline: fingerprints, artifact cache, sessions, batch.
+
+Covers the PR-2 acceptance points: fingerprint stability across
+equivalent ``Program`` builds and invalidation on any content or
+configuration change; disk-cache round-trips (including artifacts that
+embed lambda ``compute`` callables); a warm-cache ``compile_all``
+performing zero pass executions (asserted via obs metrics); and the
+parallel batch driver matching the serial path point-for-point.
+"""
+
+import pytest
+
+from repro import obs
+from repro.apps import build_app, simple
+from repro.codegen.spmd import Scheme, parse_scheme, scheme_short_name
+from repro.pipeline import (
+    MISS,
+    ArtifactCache,
+    CompileSession,
+    fingerprint_program,
+    reset_session,
+)
+from repro.pipeline.batch import (
+    BatchPoint,
+    make_grid,
+    run_batch,
+    summarize,
+)
+from repro.pipeline.passes import RestructurePass
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    obs.reset()
+    reset_session()
+    yield
+    obs.disable()
+    obs.reset()
+    reset_session()
+
+
+class TestFingerprint:
+    def test_stable_across_equivalent_builds(self):
+        a = simple.build(n=16, time_steps=2)
+        b = simple.build(n=16, time_steps=2)
+        assert a is not b
+        assert fingerprint_program(a) == fingerprint_program(b)
+
+    def test_changes_with_size_and_time_steps(self):
+        base = fingerprint_program(simple.build(n=16, time_steps=2))
+        assert fingerprint_program(simple.build(n=8, time_steps=2)) != base
+        assert fingerprint_program(simple.build(n=16, time_steps=3)) != base
+
+    def test_changes_with_compute_semantics(self):
+        from tests.conftest import make_two_nest_program
+
+        def variant(op):
+            prog = make_two_nest_program()
+            st = prog.nests[0].body[0]
+            from dataclasses import replace
+
+            prog.nests[0].body[0] = replace(st, compute=op)
+            return prog
+
+        fp_add = fingerprint_program(variant(lambda x: x + 1))
+        fp_mul = fingerprint_program(variant(lambda x: x * 2))
+        fp_add2 = fingerprint_program(variant(lambda x: x + 1))
+        assert fp_add != fp_mul
+        assert fp_add == fp_add2
+
+    def test_pass_key_invalidation(self, monkeypatch):
+        prog = simple.build(n=8)
+        session = CompileSession()
+        rp = RestructurePass()
+        ctx = session._context(prog)
+        k1 = rp.cache_key(ctx)
+        monkeypatch.setattr(RestructurePass, "version", "999")
+        assert rp.cache_key(ctx) != k1
+        # scheme / nprocs reach the codegen pass key
+        c4 = session._context(prog, scheme=Scheme.BASE, nprocs=4)
+        c8 = session._context(prog, scheme=Scheme.BASE, nprocs=8)
+        cd = session._context(prog, scheme=Scheme.COMP_DECOMP, nprocs=4)
+        keys = {session._spmd.cache_key(c) for c in (c4, c8, cd)}
+        assert len(keys) == 3
+
+
+class TestArtifactCache:
+    def test_lru_eviction(self):
+        cache = ArtifactCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_disk_round_trip_with_lambdas(self, tmp_path):
+        prog = simple.build(n=8)
+        session = CompileSession(
+            cache=ArtifactCache(disk_dir=tmp_path)
+        )
+        spmd = session.compile(prog, Scheme.COMP_DECOMP_DATA, 4)
+
+        # A second cache over the same directory (fresh process
+        # stand-in) serves every artifact from disk.
+        cold = CompileSession(cache=ArtifactCache(disk_dir=tmp_path))
+        spmd2 = cold.compile(
+            simple.build(n=8), Scheme.COMP_DECOMP_DATA, 4
+        )
+        assert cold.manager.total_runs() == 0
+        assert cold.cache.stats.disk_hits > 0
+        assert spmd2.scheme is spmd.scheme
+        assert spmd2.nprocs == spmd.nprocs
+        assert [p.nest.name for p in spmd2.phases] == [
+            p.nest.name for p in spmd.phases
+        ]
+        # The reconstructed compute callables behave identically.
+        st = spmd2.program.nests[0].body[0]
+        ref = spmd.program.nests[0].body[0]
+        assert st.compute(2.0, 3.0) == ref.compute(2.0, 3.0)
+
+    def test_unpicklable_artifact_stays_memory_only(self, tmp_path):
+        import threading
+
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.put("k", threading.Lock())
+        assert cache.stats.disk_errors == 1
+        assert cache.get("k") is not MISS  # memory layer still serves
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.put("deadbeef", {"x": 1})
+        path = cache._disk_path("deadbeef")
+        path.write_bytes(b"not a pickle")
+        fresh = ArtifactCache(disk_dir=tmp_path)
+        assert fresh.get("deadbeef") is MISS
+        assert fresh.stats.disk_errors == 1
+
+
+class TestSessionMemoization:
+    def test_restructure_no_attribute_mutation(self):
+        prog = simple.build(n=16, time_steps=2)
+        session = CompileSession()
+        r = session.restructure(prog)
+        assert not hasattr(prog, "_restructured")
+        assert not hasattr(r, "_restructured")
+
+    def test_restructure_memoized_by_content(self):
+        session = CompileSession()
+        r1 = session.restructure(simple.build(n=16, time_steps=2))
+        r2 = session.restructure(simple.build(n=16, time_steps=2))
+        assert r1 is r2
+        assert session.restructure(r1) is r1  # fixed point
+
+    def test_no_cache_session_still_compiles(self):
+        session = CompileSession(cache=None)
+        prog = simple.build(n=8)
+        spmd = session.compile(prog, Scheme.COMP_DECOMP, 4)
+        assert spmd.nprocs == 4
+        assert session.manager.total_runs() > 0
+        # Every compile does full work.
+        before = session.manager.total_runs()
+        session.compile(simple.build(n=8), Scheme.COMP_DECOMP, 4)
+        assert session.manager.total_runs() > before
+
+
+class TestWarmCompileAll:
+    def test_second_compile_all_runs_zero_passes(self):
+        session = CompileSession()
+        session.compile_all(simple.build(n=12, time_steps=2), nprocs=4)
+
+        obs.enable(reset=True)
+        cp = session.compile_all(
+            simple.build(n=12, time_steps=2), nprocs=4
+        )
+        counters = obs.collector().metrics.snapshot()["counters"]
+        for name in ("restructure", "decompose", "layout", "spmd"):
+            assert counters.get(f"pipeline.pass.{name}.runs", 0) == 0, name
+            assert counters.get(f"pipeline.pass.{name}.cache_hits", 0) > 0
+        # No real compiler work was traced either.
+        names = {s.name for s in obs.collector().spans}
+        assert "compiler.restructure" not in names
+        assert "decomp.greedy" not in names
+        assert "codegen.spmd" not in names
+        # The result is still complete and self-consistent.
+        assert cp.comp_decomp.decomposition is cp.decomposition
+
+    def test_wrappers_share_default_session(self):
+        from repro.compiler import compile_all, restructure_program
+
+        compile_all(simple.build(n=12, time_steps=2), nprocs=4)
+        obs.enable(reset=True)
+        compile_all(simple.build(n=12, time_steps=2), nprocs=4)
+        counters = obs.collector().metrics.snapshot()["counters"]
+        assert counters.get("pipeline.pass.spmd.runs", 0) == 0
+        r1 = restructure_program(simple.build(n=12, time_steps=2))
+        assert restructure_program(r1) is r1
+
+
+class TestBatch:
+    GRID = dict(apps=["simple"], schemes=["base", "comp", "data"],
+                procs=[1, 4], n=8, scale=32)
+
+    def test_parallel_matches_serial(self):
+        points = make_grid(**self.GRID)
+        assert len(points) == 6
+        serial = run_batch(points, jobs=1)
+        parallel = run_batch(points, jobs=4)
+        assert all(r.ok for r in serial), [r.error for r in serial]
+        assert all(r.ok for r in parallel), [r.error for r in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.point == p.point
+            assert s.total_time == p.total_time
+            assert s.n_accesses == p.n_accesses
+            assert s.miss_breakdown == p.miss_breakdown
+
+    def test_error_isolation(self):
+        points = [
+            BatchPoint(app="simple", scheme="base", nprocs=2, n=8),
+            BatchPoint(app="nosuchapp", scheme="base", nprocs=2, n=8),
+            BatchPoint(app="simple", scheme="comp", nprocs=2, n=8),
+        ]
+        results = run_batch(points, jobs=1)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "nosuchapp" in results[1].error
+        agg = summarize(results)
+        assert agg["errors"] == 1 and agg["ok"] == 2
+
+    def test_serial_shared_session_reuses_artifacts(self):
+        points = make_grid(**self.GRID)
+        results = run_batch(points, jobs=1)
+        agg = summarize(results)
+        # restructure runs once for the app, not once per point.
+        assert agg["pass_runs"].get("restructure", 0) == 1
+        assert agg["pass_hits"].get("restructure", 0) == len(points) - 1
+
+    def test_warm_disk_cache_fully_cached(self, tmp_path):
+        points = make_grid(apps=["simple"], schemes=["base", "data"],
+                           procs=[1, 2], n=8, scale=32)
+        cold = run_batch(points, jobs=2, disk_dir=str(tmp_path))
+        warm = run_batch(points, jobs=2, disk_dir=str(tmp_path))
+        assert all(r.ok for r in warm), [r.error for r in warm]
+        assert not summarize(cold)["fully_cached"]
+        assert summarize(warm)["fully_cached"]
+        for c, w in zip(cold, warm):
+            assert c.total_time == w.total_time
+
+    def test_pinned_decomposition(self):
+        points = make_grid(apps=["simple"], schemes=["data"],
+                           procs=[1, 4], n=8, pin_decomp=True)
+        assert all(p.decomp_procs == 4 for p in points)
+        results = run_batch(points, jobs=1)
+        assert all(r.ok for r in results)
+        agg = summarize(results)
+        assert agg["pass_runs"].get("decompose", 0) == 1
+
+
+class TestSchemeTable:
+    def test_aliases_resolve(self):
+        assert parse_scheme("base") is Scheme.BASE
+        assert parse_scheme("comp") is Scheme.COMP_DECOMP
+        assert parse_scheme("comp_decomp") is Scheme.COMP_DECOMP
+        assert parse_scheme("data") is Scheme.COMP_DECOMP_DATA
+        assert parse_scheme("comp_decomp_data") is Scheme.COMP_DECOMP_DATA
+        assert parse_scheme("comp decomp + data transform") is \
+            Scheme.COMP_DECOMP_DATA
+        assert parse_scheme(Scheme.BASE) is Scheme.BASE
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            parse_scheme("turbo")
+
+    def test_short_names_round_trip(self):
+        for scheme in Scheme:
+            assert parse_scheme(scheme_short_name(scheme)) is scheme
+
+
+class TestBuildApp:
+    def test_forwards_accepted_kwargs(self):
+        prog = build_app("simple", n=8, time_steps=3)
+        assert prog.time_steps == 3
+
+    def test_none_means_default(self):
+        prog = build_app("lu", n=8, time_steps=None)
+        assert prog.params["N"] == 8
+
+    def test_rejects_unknown_kwarg(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            build_app("lu", time_steps=3)
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            build_app("nosuchapp", n=8)
