@@ -12,11 +12,35 @@ Public API map:
 * :mod:`repro.machine` — the scaled-DASH memory-system model;
 * :mod:`repro.apps` — the paper's benchmark programs;
 * :mod:`repro.compiler` — the three Section-6 pipelines;
+* :mod:`repro.verify` — the semantic verification oracle;
+* :mod:`repro.errors` / :mod:`repro.faults` — typed failures and
+  deterministic fault injection;
 * :mod:`repro.report` — experiment formatting.
 """
 
 from repro.compiler import Scheme, compile_all, compile_program
+from repro.errors import (
+    CacheError,
+    CompileError,
+    FaultInjected,
+    LegalityError,
+    ReproError,
+    SimulationError,
+    VerifyError,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["Scheme", "compile_all", "compile_program", "__version__"]
+__all__ = [
+    "Scheme",
+    "compile_all",
+    "compile_program",
+    "ReproError",
+    "CompileError",
+    "LegalityError",
+    "CacheError",
+    "SimulationError",
+    "VerifyError",
+    "FaultInjected",
+    "__version__",
+]

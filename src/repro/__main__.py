@@ -49,6 +49,63 @@ def _split_csv(text: str):
     return [t.strip() for t in text.split(",") if t.strip()]
 
 
+# -- argument validation (one-line errors, applied by argparse) --------------
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _procs_csv(text: str):
+    """A non-empty comma-separated list of processor counts (each >= 1).
+    Used as an argparse ``type`` so string defaults are parsed too."""
+    items = _split_csv(text)
+    if not items:
+        raise argparse.ArgumentTypeError(
+            "expected a non-empty comma-separated list of processor "
+            "counts")
+    return [_positive_int(t) for t in items]
+
+
 def _apply_session_args(args):
     """Install a fresh default session configured per the cache flags;
     returns it.  (Each CLI command starts cold — in particular
@@ -124,7 +181,7 @@ def cmd_run(args) -> int:
         if args.scheme != "all"
         else list(SCHEME_NAMES.values())
     )
-    procs = [int(x) for x in args.procs_list.split(",")]
+    procs = args.procs_list
     if args.jobs > 1:
         curves = _parallel_speedup_curves(args, schemes, procs)
     else:
@@ -140,7 +197,25 @@ def cmd_run(args) -> int:
     print(format_speedup_table(
         curves, title=f"{args.app} N={args.n}, scaled DASH /{args.scale}"
     ))
+    if args.verify:
+        return _post_run_verify([args.app], schemes, procs,
+                                args.verify_n, args.time_steps, session)
     return 0
+
+
+def _post_run_verify(apps, schemes, procs, verify_n, time_steps,
+                     session=None) -> int:
+    """Run the semantic oracle over the unique grid coordinates of a
+    finished run/batch, at a small capped problem size."""
+    from repro.verify import format_verify_table, grid_ok, verify_grid
+
+    results = verify_grid(apps, schemes, sorted(set(procs)),
+                          n=verify_n, time_steps=time_steps,
+                          session=session)
+    print()
+    print(format_verify_table(
+        results, title=f"semantic verification (n={verify_n})"))
+    return 0 if grid_ok(results) else 1
 
 
 def _parallel_speedup_curves(args, schemes, procs):
@@ -227,10 +302,18 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_batch(args) -> int:
-    from repro.pipeline.batch import make_grid, run_batch, summarize
+def cmd_verify(args) -> int:
+    """``python -m repro verify``: the semantic oracle over a grid."""
+    from repro.verify import format_verify_table, grid_ok, verify_grid
 
-    apps = _split_csv(args.apps)
+    session = _apply_session_args(args)
+    apps = (
+        sorted(ALL_APPS)
+        if args.apps.strip() == "all"
+        else _split_csv(args.apps)
+    )
+    if not apps:
+        raise SystemExit("no apps selected")
     for a in apps:
         if a not in ALL_APPS:
             raise SystemExit(
@@ -241,7 +324,45 @@ def cmd_batch(args) -> int:
         schemes = [parse_scheme(s) for s in _split_csv(args.schemes)]
     except ValueError as exc:
         raise SystemExit(str(exc))
-    procs = [int(x) for x in args.procs_list.split(",")]
+    if not schemes:
+        raise SystemExit("no schemes selected")
+
+    results = verify_grid(apps, schemes, args.procs_list,
+                          n=args.n, time_steps=args.time_steps,
+                          session=session)
+    print(format_verify_table(
+        results,
+        title=f"semantic verification (n={args.n}, "
+              f"procs={','.join(str(p) for p in args.procs_list)})",
+    ))
+    if grid_ok(results):
+        print("ALL OK")
+        return 0
+    return 1
+
+
+def cmd_batch(args) -> int:
+    import os
+
+    from repro import faults
+    from repro.pipeline.batch import make_grid, run_batch, summarize
+
+    apps = _split_csv(args.apps)
+    if not apps:
+        raise SystemExit("no apps selected")
+    for a in apps:
+        if a not in ALL_APPS:
+            raise SystemExit(
+                f"unknown app {a!r}; available: "
+                f"{', '.join(sorted(ALL_APPS))}"
+            )
+    try:
+        schemes = [parse_scheme(s) for s in _split_csv(args.schemes)]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not schemes:
+        raise SystemExit("no schemes selected")
+    procs = args.procs_list
 
     points = make_grid(
         apps, [s.value for s in schemes], procs,
@@ -256,30 +377,58 @@ def cmd_batch(args) -> int:
         if disk is None and args.cache:
             disk = Path("~/.cache/repro").expanduser()
         disk_dir = str(disk) if disk is not None else None
-    results = run_batch(
-        points, jobs=args.jobs,
-        cache=not args.no_cache, disk_dir=disk_dir,
-    )
+
+    saved_faults = os.environ.get(faults.ENV_FLAG)
+    if args.inject_faults is not None:
+        try:
+            spec = faults.FaultPlan.parse(args.inject_faults).spec()
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        # Configure the driver process and export the spec so spawned
+        # workers inherit the same deterministic plan.
+        faults.configure(spec)
+        os.environ[faults.ENV_FLAG] = spec
+    try:
+        results = run_batch(
+            points, jobs=args.jobs,
+            cache=not args.no_cache, disk_dir=disk_dir,
+            timeout=args.timeout, retries=args.retries,
+            backoff=args.backoff, degrade=not args.no_degrade,
+        )
+    finally:
+        if args.inject_faults is not None:
+            faults.configure(None)
+            if saved_faults is None:
+                os.environ.pop(faults.ENV_FLAG, None)
+            else:
+                os.environ[faults.ENV_FLAG] = saved_faults
 
     print(f"{'app':12s} {'scheme':6s} {'P':>3s} {'time':>12s} "
-          f"{'accesses':>10s} {'runs':>5s} {'hits':>5s}  status")
+          f"{'accesses':>10s} {'runs':>5s} {'hits':>5s} {'try':>3s}"
+          f"  status")
     for r in results:
         p = r.point
         if r.ok:
+            status = "ok"
+            if r.degraded:
+                first = (r.degrade_reason or "?").strip().splitlines()[0]
+                status = f"ok (degraded to base: {first})"
             print(f"{p.app:12s} {p.scheme:6s} {p.nprocs:3d} "
                   f"{r.total_time:12.4e} {r.n_accesses:10d} "
                   f"{sum(r.pass_runs.values()):5d} "
-                  f"{sum(r.pass_hits.values()):5d}  ok")
+                  f"{sum(r.pass_hits.values()):5d} {r.attempts:3d}"
+                  f"  {status}")
         else:
             first = r.error.strip().splitlines()[-1] if r.error else "?"
             print(f"{p.app:12s} {p.scheme:6s} {p.nprocs:3d} "
-                  f"{'-':>12s} {'-':>10s} {'-':>5s} {'-':>5s}  "
-                  f"ERROR: {first}")
+                  f"{'-':>12s} {'-':>10s} {'-':>5s} {'-':>5s} "
+                  f"{r.attempts:3d}  ERROR: {first}")
     agg = summarize(results)
     runs = ", ".join(f"{k}={v}" for k, v in sorted(agg["pass_runs"].items()))
     hits = ", ".join(f"{k}={v}" for k, v in sorted(agg["pass_hits"].items()))
     print(f"\npoints: {agg['points']}  ok: {agg['ok']}  "
-          f"errors: {agg['errors']}")
+          f"errors: {agg['errors']}  degraded: {agg['degraded']}  "
+          f"retried: {agg['retried']}")
     print(f"pass executions: {runs or 'none'} "
           f"(total {agg['total_pass_runs']})")
     print(f"cache hits: {hits or 'none'}")
@@ -294,11 +443,16 @@ def cmd_batch(args) -> int:
             )
         print(f"wrote JSON results to {args.json}")
 
+    rc = 1 if agg["errors"] else 0
     if args.expect_cached and not agg["fully_cached"]:
         print("error: --expect-cached but passes executed",
               file=sys.stderr)
-        return 1
-    return 1 if agg["errors"] else 0
+        rc = 1
+    if args.verify:
+        verify_rc = _post_run_verify(
+            apps, schemes, procs, args.verify_n, args.time_steps)
+        rc = rc or verify_rc
+    return rc
 
 
 def main(argv=None) -> int:
@@ -312,30 +466,35 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("decompose", help="show a program's decomposition")
     p.add_argument("app")
-    p.add_argument("--n", type=int, default=32)
-    p.add_argument("--procs", type=int, default=8)
-    p.add_argument("--time-steps", type=int, default=None)
+    p.add_argument("--n", type=_positive_int, default=32)
+    p.add_argument("--procs", type=_positive_int, default=8)
+    p.add_argument("--time-steps", type=_positive_int, default=None)
     p.add_argument("--verbose", action="store_true")
     _add_cache_flags(p)
 
     p = sub.add_parser("emit", help="emit the SPMD C source")
     p.add_argument("app")
-    p.add_argument("--n", type=int, default=16)
-    p.add_argument("--procs", type=int, default=4)
-    p.add_argument("--time-steps", type=int, default=None)
+    p.add_argument("--n", type=_positive_int, default=16)
+    p.add_argument("--procs", type=_positive_int, default=4)
+    p.add_argument("--time-steps", type=_positive_int, default=None)
     p.add_argument("--scheme", choices=sorted(SCHEME_NAMES), default="data")
     _add_cache_flags(p)
 
     p = sub.add_parser("run", help="simulate and print speedups")
     p.add_argument("app")
-    p.add_argument("--n", type=int, default=48)
-    p.add_argument("--procs-list", default="1,2,4,8,16,32")
-    p.add_argument("--scale", type=int, default=16)
-    p.add_argument("--time-steps", type=int, default=None)
+    p.add_argument("--n", type=_positive_int, default=48)
+    p.add_argument("--procs-list", type=_procs_csv, default="1,2,4,8,16,32")
+    p.add_argument("--scale", type=_positive_int, default=16)
+    p.add_argument("--time-steps", type=_positive_int, default=None)
     p.add_argument("--scheme", choices=sorted(SCHEME_NAMES) + ["all"],
                    default="all")
-    p.add_argument("--jobs", type=int, default=1,
+    p.add_argument("--jobs", type=_positive_int, default=1,
                    help="run the sweep's points across N processes")
+    p.add_argument("--verify", action="store_true",
+                   help="after the sweep, run the semantic oracle over "
+                        "its (scheme, nprocs) grid at a small size")
+    p.add_argument("--verify-n", type=_positive_int, default=8,
+                   help="problem size for --verify (default 8)")
     _add_cache_flags(p)
 
     p = sub.add_parser(
@@ -343,16 +502,33 @@ def main(argv=None) -> int:
         help="compile + simulate with observability on; dump the trace",
     )
     p.add_argument("app")
-    p.add_argument("--n", type=int, default=32)
-    p.add_argument("--procs", type=int, default=8)
-    p.add_argument("--scale", type=int, default=16)
-    p.add_argument("--time-steps", type=int, default=None)
+    p.add_argument("--n", type=_positive_int, default=32)
+    p.add_argument("--procs", type=_positive_int, default=8)
+    p.add_argument("--scale", type=_positive_int, default=16)
+    p.add_argument("--time-steps", type=_positive_int, default=None)
     p.add_argument("--scheme", choices=sorted(SCHEME_ALIASES),
                    default="comp_decomp_data")
     p.add_argument("-o", "--output", default=None,
                    help="trace output path (Chrome trace-event JSON)")
     p.add_argument("--format", choices=["chrome", "json"], default="chrome",
                    help="output format: Chrome trace events or full dump")
+    _add_cache_flags(p)
+
+    p = sub.add_parser(
+        "verify",
+        help="semantically verify compiled output against the "
+             "sequential reference (app x scheme x procs grid)",
+    )
+    p.add_argument("--apps", default="all",
+                   help="comma-separated app names, or 'all'")
+    p.add_argument("--schemes", default="base,comp,data",
+                   help="comma-separated scheme names (any alias)")
+    p.add_argument("--procs-list", type=_procs_csv, default="1,2,4",
+                   help="comma-separated processor counts")
+    p.add_argument("--n", type=_positive_int, default=8,
+                   help="problem size per app (small keeps the oracle "
+                        "fast)")
+    p.add_argument("--time-steps", type=_positive_int, default=None)
     _add_cache_flags(p)
 
     p = sub.add_parser(
@@ -363,16 +539,35 @@ def main(argv=None) -> int:
                    help="comma-separated app names")
     p.add_argument("--schemes", default="base,comp,data",
                    help="comma-separated scheme names (any alias)")
-    p.add_argument("--procs-list", default="1,4",
+    p.add_argument("--procs-list", type=_procs_csv, default="1,4",
                    help="comma-separated processor counts")
-    p.add_argument("--n", type=int, default=None,
+    p.add_argument("--n", type=_positive_int, default=None,
                    help="problem size forwarded to each app builder")
-    p.add_argument("--time-steps", type=int, default=None)
-    p.add_argument("--scale", type=int, default=16)
-    p.add_argument("--jobs", type=int, default=1,
+    p.add_argument("--time-steps", type=_positive_int, default=None)
+    p.add_argument("--scale", type=_positive_int, default=16)
+    p.add_argument("--jobs", type=_positive_int, default=1,
                    help="worker processes (<=1: serial, shared session)")
     p.add_argument("--pin-decomp", action="store_true",
                    help="derive one decomposition at max(procs) per app")
+    p.add_argument("--timeout", type=_positive_float, default=None,
+                   help="per-point wall-clock limit in seconds "
+                        "(parallel mode; stalled workers are killed)")
+    p.add_argument("--retries", type=_nonneg_int, default=0,
+                   help="re-attempts per failed point (with backoff)")
+    p.add_argument("--backoff", type=_nonneg_float, default=0.5,
+                   help="base exponential-backoff delay in seconds")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="disable the BASE-scheme fallback for points "
+                        "whose scheme fails to compile")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault-injection spec, e.g. "
+                        "'seed=7,cache.read=0.3,worker.crash=0.2' "
+                        "(chaos testing; also honours $REPRO_FAULTS)")
+    p.add_argument("--verify", action="store_true",
+                   help="after the batch, run the semantic oracle over "
+                        "its grid at a small size (faults disabled)")
+    p.add_argument("--verify-n", type=_positive_int, default=8,
+                   help="problem size for --verify (default 8)")
     p.add_argument("--json", default=None,
                    help="write per-point results + summary as JSON")
     p.add_argument("--expect-cached", action="store_true",
@@ -387,6 +582,7 @@ def main(argv=None) -> int:
         "emit": cmd_emit,
         "run": cmd_run,
         "profile": cmd_profile,
+        "verify": cmd_verify,
         "batch": cmd_batch,
     }[args.command](args)
 

@@ -117,6 +117,49 @@ class OwnerPlan:
     foldings: Tuple[Folding, ...] = ()
     extents: Tuple[int, ...] = ()  # virtual extents per processor dim
 
+    def owner_at(
+        self,
+        env: Mapping[str, int],
+        nest: "LoopNest",
+        params: Mapping[str, int],
+        nprocs: int,
+        grid: Sequence[int],
+    ) -> int:
+        """Owning processor of one statement instance under a concrete
+        loop-variable binding ``env`` (which must also bind any outer
+        variables the bounds reference).  This is the scalar twin of the
+        vectorized owner computation in :mod:`repro.machine.trace`; the
+        verification oracle executes through it.
+        """
+        if self.kind == "serial" or nprocs == 1:
+            return 0
+        if self.kind == "base":
+            loop = nest.loops[self.level]
+            lo = loop.lower.eval(env)
+            hi = loop.upper.eval(env)
+            span = max(hi - lo + 1, 1)
+            v = env[loop.var]
+            return min(max((v - lo) * nprocs // span, 0), nprocs - 1)
+        pid = 0
+        for dim in range(len(self.matrix) - 1, -1, -1):
+            row = self.matrix[dim]
+            virt = 0
+            for c, var in zip(row, nest.loop_vars):
+                if c:
+                    virt += c * env[var]
+            fold = self.foldings[dim]
+            g = grid[dim] if dim < len(grid) else 1
+            ext = self.extents[dim] if dim < len(self.extents) else 1
+            if fold.kind is FoldKind.BLOCK:
+                b = max(1, -(-ext // g))
+                coord = min(virt // b, g - 1)
+            elif fold.kind is FoldKind.CYCLIC:
+                coord = virt % g
+            else:
+                coord = (virt // fold.block) % g
+            pid = pid * g + coord
+        return pid
+
 
 @dataclass
 class SpmdPhase:

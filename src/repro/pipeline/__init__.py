@@ -28,12 +28,14 @@ from repro.pipeline.passes import (
     ART_PROGRAM,
     ART_RESTRUCTURED,
     ART_SPMD,
+    ART_VERIFY,
     DecomposePass,
     LayoutPass,
     Pass,
     PassContext,
     RestructurePass,
     SpmdCodegenPass,
+    VerifyPass,
 )
 from repro.pipeline.session import (
     CompileSession,
@@ -57,12 +59,14 @@ __all__ = [
     "DecomposePass",
     "LayoutPass",
     "SpmdCodegenPass",
+    "VerifyPass",
     "ALL_PASSES",
     "ART_PROGRAM",
     "ART_RESTRUCTURED",
     "ART_DECOMPOSITION",
     "ART_LAYOUT",
     "ART_SPMD",
+    "ART_VERIFY",
     "CompileSession",
     "get_session",
     "set_session",

@@ -11,6 +11,24 @@ the batch a disk cache directory to share artifacts *between*
 processes and *across* runs — a warm second run then reports
 ``fully_cached`` (zero pass executions), which CI asserts.
 
+Hardening (the driver survives hostile conditions without losing grid
+points):
+
+* **timeouts** — ``timeout`` bounds each point's wall time; a stalled
+  worker is detected, its pool is torn down, and the point is retried
+  or failed (``batch.timeouts``);
+* **retries** — any failed point is re-attempted up to ``retries``
+  times with exponential backoff (``batch.retries``), and every
+  result records how many ``attempts`` it took;
+* **respawn** — a crashed worker breaks its whole
+  ``ProcessPoolExecutor``; the driver kills the broken pool, spawns a
+  fresh one, and resubmits everything still pending
+  (``batch.respawns`` / ``batch.worker_lost``);
+* **degradation** — with ``degrade=True`` a point whose
+  decomposition-scheme compile fails falls back to the sequential
+  ``BASE`` layout (see ``CompileSession.compile_degradable``) and is
+  reported ``ok`` but ``degraded`` with the original failure attached.
+
 Simulation is deterministic, so the parallel path produces results
 identical to the serial one point-for-point.
 """
@@ -21,10 +39,14 @@ import itertools
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import faults, obs
 from repro.codegen.spmd import parse_scheme, scheme_short_name
+from repro.errors import ReproError, SimulationError
 
 __all__ = [
     "BatchPoint",
@@ -34,6 +56,8 @@ __all__ = [
     "run_point",
     "summarize",
 ]
+
+MAX_BACKOFF_SECONDS = 30.0
 
 
 @dataclass(frozen=True)
@@ -68,7 +92,13 @@ class BatchPoint:
 
 @dataclass
 class BatchResult:
-    """Outcome of one point (simulation scalars + cache effectiveness)."""
+    """Outcome of one point (simulation scalars + cache effectiveness).
+
+    ``attempts`` counts how many executions this point took (1 on the
+    happy path); ``degraded`` marks a point whose requested scheme
+    failed to compile and which ran under the ``BASE`` fallback
+    instead, with the original failure in ``degrade_reason``.
+    """
 
     point: BatchPoint
     ok: bool
@@ -79,6 +109,9 @@ class BatchResult:
     pass_hits: Dict[str, int] = field(default_factory=dict)
     elapsed: float = 0.0
     error: str = ""
+    attempts: int = 1
+    degraded: bool = False
+    degrade_reason: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         out = asdict(self)
@@ -105,7 +138,8 @@ def make_grid(
     ]
 
 
-def _point_session(point: BatchPoint, session):
+def _point_session(point: BatchPoint, session,
+                   degrade: bool = False) -> BatchResult:
     """Compile + simulate one point on the session (may raise)."""
     from repro.apps import build_app
     from repro.codegen.spmd import parse_scheme
@@ -124,11 +158,26 @@ def _point_session(point: BatchPoint, session):
     )
     before = session.manager.counts()
     t0 = time.perf_counter()
-    spmd = session.compile(
-        prog, parse_scheme(point.scheme), point.nprocs,
-        decomp_nprocs=point.decomp_procs,
-    )
-    res = simulate(spmd, machine)
+    degrade_reason: Optional[str] = None
+    if degrade:
+        spmd, degrade_reason = session.compile_degradable(
+            prog, parse_scheme(point.scheme), point.nprocs,
+            decomp_nprocs=point.decomp_procs,
+        )
+    else:
+        spmd = session.compile(
+            prog, parse_scheme(point.scheme), point.nprocs,
+            decomp_nprocs=point.decomp_procs,
+        )
+    try:
+        res = simulate(spmd, machine)
+    except (ReproError, KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        raise SimulationError(
+            f"{type(exc).__name__}: {exc}",
+            app=point.app, scheme=point.scheme, nprocs=point.nprocs,
+        ) from exc
     elapsed = time.perf_counter() - t0
     after = session.manager.counts()
 
@@ -149,13 +198,16 @@ def _point_session(point: BatchPoint, session):
         pass_runs=_delta("runs"),
         pass_hits=_delta("hits"),
         elapsed=elapsed,
+        degraded=degrade_reason is not None,
+        degrade_reason=degrade_reason or "",
     )
 
 
-def run_point(point: BatchPoint, session) -> BatchResult:
+def run_point(point: BatchPoint, session,
+              degrade: bool = False) -> BatchResult:
     """Run one point with error isolation (never raises)."""
     try:
-        return _point_session(point, session)
+        return _point_session(point, session, degrade=degrade)
     except BaseException as exc:  # isolate even SystemExit from a point
         if isinstance(exc, KeyboardInterrupt):
             raise
@@ -182,50 +234,179 @@ def _make_session(disk_dir: Optional[str], cache: bool):
 
 def _worker_run(payload) -> BatchResult:
     global _worker_session, _worker_config
-    point_dict, disk_dir, cache = payload
+    point_dict, disk_dir, cache, degrade = payload
+    # Injected process-level faults (crash/stall) fire only here, in
+    # worker processes — never in the driver.
+    faults.maybe_worker_faults()
     config = (disk_dir, cache)
     if _worker_session is None or _worker_config != config:
         _worker_session = _make_session(disk_dir, cache)
         _worker_config = config
-    return run_point(BatchPoint(**point_dict), _worker_session)
+    return run_point(BatchPoint(**point_dict), _worker_session,
+                     degrade=degrade)
 
 
 # -- the driver --------------------------------------------------------------
+
+def _backoff_delay(backoff: float, attempt: int) -> float:
+    """Exponential backoff before re-attempt ``attempt`` (>= 2)."""
+    return min(backoff * (2.0 ** max(attempt - 2, 0)), MAX_BACKOFF_SECONDS)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a broken/stalled pool without waiting on its workers."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - very old interpreters
+        pool.shutdown(wait=False)
+
 
 def run_batch(
     points: Iterable[BatchPoint],
     jobs: int = 1,
     cache: bool = True,
     disk_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    degrade: bool = True,
 ) -> List[BatchResult]:
     """Run every point; results come back in input order.
 
     ``jobs <= 1`` runs serially in-process on one shared session;
     ``jobs > 1`` fans out over a process pool (``disk_dir`` makes the
     artifact cache shared across workers and across batch runs).
+
+    ``timeout`` bounds each point's wall-clock seconds (parallel mode
+    only; a stalled worker pool is killed and respawned).  ``retries``
+    re-attempts failed points with exponential ``backoff``.
+    ``degrade`` enables the BASE-scheme compile fallback per point.
     """
     points = list(points)
     if jobs <= 1:
-        session = _make_session(disk_dir, cache)
-        return [run_point(p, session) for p in points]
+        return _run_serial(points, cache, disk_dir, retries, backoff,
+                           degrade)
+    return _run_parallel(points, jobs, cache, disk_dir, timeout,
+                         retries, backoff, degrade)
 
-    payloads = [(asdict(p), disk_dir, cache) for p in points]
+
+def _run_serial(points, cache, disk_dir, retries, backoff,
+                degrade) -> List[BatchResult]:
+    session = _make_session(disk_dir, cache)
+    out: List[BatchResult] = []
+    for point in points:
+        attempt = 1
+        result = run_point(point, session, degrade=degrade)
+        while not result.ok and attempt <= retries:
+            obs.inc("batch.retries")
+            time.sleep(_backoff_delay(backoff, attempt + 1))
+            attempt += 1
+            result = run_point(point, session, degrade=degrade)
+        result.attempts = attempt
+        out.append(result)
+    return out
+
+
+def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
+                  backoff, degrade) -> List[BatchResult]:
+    """Wave-based execution: each wave gets a fresh pool for whatever
+    is still pending.
+
+    Attempt accounting is attributable: a point is charged an attempt
+    only for an outcome of its *own* (a result, its own timeout, a
+    distinct executor error).  A crashed worker breaks the whole
+    ``ProcessPoolExecutor``, taking innocent in-flight points with it —
+    those collateral points are requeued for free, *except* when a
+    wave completes nothing at all (then everyone is charged, which
+    bounds the total number of waves even under a 100% crash rate).
+    """
+    payloads = [(asdict(p), disk_dir, cache, degrade) for p in points]
     results: List[Optional[BatchResult]] = [None] * len(points)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(_worker_run, payload): i
-            for i, payload in enumerate(payloads)
-        }
-        for fut, i in futures.items():
-            try:
-                results[i] = fut.result()
-            except Exception:
-                # The worker process itself died (not a point failure,
-                # which run_point already isolates).
+    attempts = [0] * len(points)
+    pending: List[int] = list(range(len(points)))
+    wave = 0
+    while pending:
+        wave += 1
+        if wave > 1:
+            time.sleep(_backoff_delay(backoff, wave))
+        next_pending: List[int] = []
+
+        def _retry_or_fail(i: int, error: str) -> None:
+            if attempts[i] <= retries:
+                obs.inc("batch.retries")
+                next_pending.append(i)
+            else:
                 results[i] = BatchResult(
-                    point=points[i], ok=False,
-                    error=traceback.format_exc(limit=5),
+                    point=points[i], ok=False, error=error,
+                    attempts=attempts[i],
                 )
+
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        broken = False
+        progressed = False
+        futures = []
+        collateral: List[int] = []
+        try:
+            for i in pending:
+                futures.append(
+                    (pool.submit(_worker_run, payloads[i]), i))
+        except BrokenProcessPool:
+            broken = True
+            submitted = {i for _, i in futures}
+            collateral.extend(i for i in pending if i not in submitted)
+        for fut, i in futures:
+            if broken and not fut.done():
+                # The pool is already dead; this point never got a
+                # chance — requeue it without waiting (or charging).
+                fut.cancel()
+                collateral.append(i)
+                continue
+            try:
+                result = fut.result(timeout=timeout)
+                attempts[i] += 1
+                result.attempts = attempts[i]
+                results[i] = result
+                progressed = True
+            except FuturesTimeoutError:
+                broken = True
+                attempts[i] += 1
+                obs.inc("batch.timeouts")
+                obs.event("batch.timeout", cat="batch",
+                          point=points[i].label(), timeout=timeout)
+                _retry_or_fail(
+                    i, f"point exceeded timeout of {timeout}s")
+            except BrokenProcessPool:
+                if not broken:
+                    broken = True
+                    obs.inc("batch.worker_lost")
+                    obs.event("batch.worker_lost", cat="batch",
+                              point=points[i].label())
+                collateral.append(i)
+            except (KeyboardInterrupt, SystemExit):
+                _kill_pool(pool)
+                raise
+            except Exception:
+                # Unexpected executor-side failure for this future
+                # only; the pool itself may still be healthy.
+                attempts[i] += 1
+                _retry_or_fail(i, traceback.format_exc(limit=5))
+        for i in collateral:
+            if not progressed:
+                attempts[i] += 1
+            _retry_or_fail(
+                i, "worker process died (pool broken) before this "
+                   "point completed")
+        if broken:
+            obs.inc("batch.respawns")
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        pending = next_pending
     return [r for r in results if r is not None]
 
 
@@ -241,10 +422,14 @@ def summarize(results: Sequence[BatchResult]) -> Dict[str, object]:
             hits[name] = hits.get(name, 0) + c
     total_runs = sum(runs.values())
     errors = [r for r in results if not r.ok]
+    degraded = [r for r in results if r.degraded]
+    retried = [r for r in results if r.attempts > 1]
     return {
         "points": len(results),
         "ok": len(results) - len(errors),
         "errors": len(errors),
+        "degraded": len(degraded),
+        "retried": len(retried),
         "pass_runs": runs,
         "pass_hits": hits,
         "total_pass_runs": total_runs,

@@ -16,8 +16,16 @@ Disk location resolution (:func:`resolve_disk_dir`):
 Disk entries are namespaced by cache schema and interpreter version
 (the serializer marshals compute bytecode, which is only stable within
 one Python version).  Disk failures are never fatal: an artifact that
-cannot be pickled simply stays memory-only, and an unreadable disk
-entry is treated as a miss.
+cannot be pickled simply stays memory-only, an unreadable disk entry is
+treated as a miss, and a *corrupt* entry (truncated, garbage, or
+unpicklable bytes) is quarantined — moved aside into the store's
+``quarantine/`` directory, counted in ``CacheStats.corrupt`` and the
+``pipeline.cache.corrupt`` obs counter — and recomputed, never raised.
+
+Fault injection (:mod:`repro.faults`) hooks both disk directions:
+``cache.read`` corrupts loaded bytes (exercising the quarantine path)
+and ``cache.write`` fails the store (exercising the memory-only
+fallback).
 """
 
 from __future__ import annotations
@@ -30,7 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro import obs
+from repro import faults, obs
+from repro.errors import CacheError
 from repro.pipeline import serde
 
 __all__ = ["MISS", "ArtifactCache", "CacheStats", "resolve_disk_dir"]
@@ -68,6 +77,7 @@ class CacheStats:
     stores: int = 0
     disk_stores: int = 0
     disk_errors: int = 0
+    corrupt: int = 0
     evictions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -78,6 +88,7 @@ class CacheStats:
             "stores": self.stores,
             "disk_stores": self.disk_stores,
             "disk_errors": self.disk_errors,
+            "corrupt": self.corrupt,
             "evictions": self.evictions,
         }
 
@@ -153,24 +164,49 @@ class ArtifactCache:
     def _disk_get(self, key: str) -> Any:
         if self.disk_dir is None:
             return MISS
-        path = self._disk_path(key)
         try:
+            path = self._disk_path(key)
             data = path.read_bytes()
         except OSError:
             return MISS
-        try:
-            return serde.loads(data)
-        except Exception as exc:
+        except Exception as exc:  # unexpected; a read must never crash
             self.stats.disk_errors += 1
             obs.event("pipeline.cache.disk_error", cat="pipeline",
                       op="load", key=key, error=type(exc).__name__)
             return MISS
+        data = faults.corrupt(data, "cache.read")
+        try:
+            return serde.loads(data)
+        except Exception as exc:
+            # Truncated / garbage / unpicklable entry: quarantine it so
+            # it is never retried, count it, and recompute.
+            self.stats.corrupt += 1
+            obs.inc("pipeline.cache.corrupt")
+            obs.event("pipeline.cache.corrupt", cat="pipeline",
+                      key=key, error=type(exc).__name__)
+            self._quarantine(path, key)
+            return MISS
+
+    def _quarantine(self, path: Path, key: str) -> None:
+        """Move a corrupt entry out of the lookup path (best effort —
+        on failure the file is deleted; on *that* failing, ignored)."""
+        try:
+            qdir = path.parent.parent / "quarantine"
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def _disk_put(self, key: str, value: Any) -> None:
         if self.disk_dir is None:
             return
         path = self._disk_path(key)
         try:
+            if faults.should_fire("cache.write"):
+                raise CacheError("injected disk-store write fault", key=key)
             data = serde.dumps(value)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")

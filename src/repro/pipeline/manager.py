@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro import obs
+from repro import faults, obs
+from repro.errors import CompileError, ReproError
 from repro.pipeline.cache import MISS, ArtifactCache
 from repro.pipeline.passes import Pass, PassContext
 
@@ -51,7 +52,28 @@ class PassManager:
                       program=ctx.program.name,
                       scheme=ctx.scheme.value if ctx.scheme else None,
                       nprocs=ctx.nprocs):
-            value = pass_.run(ctx)
+            try:
+                faults.check(
+                    "pass",
+                    pass_name=pass_.name,
+                    app=ctx.program.name,
+                    scheme=ctx.scheme.value if ctx.scheme else None,
+                    nprocs=ctx.nprocs,
+                )
+                value = pass_.run(ctx)
+            except ReproError:
+                raise  # already typed, context attached at the source
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                raise CompileError(
+                    f"pass {pass_.name!r} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    pass_name=pass_.name,
+                    app=ctx.program.name,
+                    scheme=ctx.scheme.value if ctx.scheme else None,
+                    nprocs=ctx.nprocs,
+                ) from exc
         self.runs[pass_.name] = self.runs.get(pass_.name, 0) + 1
         obs.inc(f"pipeline.pass.{pass_.name}.runs")
         if key is not None:

@@ -37,12 +37,14 @@ __all__ = [
     "ART_DECOMPOSITION",
     "ART_LAYOUT",
     "ART_SPMD",
+    "ART_VERIFY",
     "PassContext",
     "Pass",
     "RestructurePass",
     "DecomposePass",
     "LayoutPass",
     "SpmdCodegenPass",
+    "VerifyPass",
     "ALL_PASSES",
 ]
 
@@ -52,6 +54,7 @@ ART_RESTRUCTURED = "program.restructured"
 ART_DECOMPOSITION = "decomposition"
 ART_LAYOUT = "layout"
 ART_SPMD = "spmd"
+ART_VERIFY = "verify.report"
 
 
 @dataclass
@@ -225,4 +228,27 @@ class SpmdCodegenPass(Pass):
         )
 
 
-ALL_PASSES = (RestructurePass, DecomposePass, LayoutPass, SpmdCodegenPass)
+class VerifyPass(Pass):
+    """Optional semantic oracle stage: executes the SPMD plan and the
+    untransformed source program in lockstep and raises
+    :class:`~repro.errors.VerifyError` on the first diverging element.
+    Never cached — when enabled it must actually run, even on a
+    fully-cached compile, because *it* is the guardrail."""
+
+    name = "verify"
+    version = "1"
+    inputs = (ART_PROGRAM, ART_SPMD)
+    output = ART_VERIFY
+
+    def cache_key(self, ctx: PassContext) -> Optional[str]:
+        return None
+
+    def run(self, ctx: PassContext):
+        from repro.verify import verify_spmd
+
+        result = verify_spmd(ctx.require(ART_SPMD), ctx.program)
+        return result.raise_on_failure()
+
+
+ALL_PASSES = (RestructurePass, DecomposePass, LayoutPass, SpmdCodegenPass,
+              VerifyPass)

@@ -16,8 +16,9 @@ batch worker with a disk store) construct their own.
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import obs
 from repro.codegen.spmd import Scheme, SpmdProgram
@@ -38,9 +39,11 @@ from repro.pipeline.passes import (
     PassContext,
     RestructurePass,
     SpmdCodegenPass,
+    VerifyPass,
 )
 
 __all__ = [
+    "ENV_VERIFY",
     "CompileSession",
     "get_session",
     "set_session",
@@ -48,6 +51,8 @@ __all__ = [
 ]
 
 _AUTO = object()
+
+ENV_VERIFY = "REPRO_VERIFY"
 
 
 class CompileSession:
@@ -57,18 +62,31 @@ class CompileSession:
     artifact reuse entirely (every pass always runs), or omitted to
     build one from the environment (``REPRO_CACHE_DIR`` /
     ``REPRO_CACHE`` select an optional disk store).
+
+    ``verify=True`` appends the :class:`VerifyPass` oracle to every
+    compile — each SPMD plan is executed against the sequential
+    reference and a divergence raises
+    :class:`~repro.errors.VerifyError`.  ``verify=None`` (default)
+    reads the ``REPRO_VERIFY`` environment flag.
     """
 
-    def __init__(self, cache=_AUTO, max_dims: int = 2):
+    def __init__(self, cache=_AUTO, max_dims: int = 2,
+                 verify: Optional[bool] = None):
         if cache is _AUTO:
             cache = ArtifactCache.from_env()
+        if verify is None:
+            verify = os.environ.get(ENV_VERIFY, "").lower() not in (
+                "", "0", "false", "no"
+            )
         self.cache: Optional[ArtifactCache] = cache
         self.manager = PassManager(cache)
         self.max_dims = max_dims
+        self.verify = bool(verify)
         self._restructure = RestructurePass()
         self._decompose = DecomposePass()
         self._layout = LayoutPass()
         self._spmd = SpmdCodegenPass()
+        self._verify = VerifyPass()
 
     # -- pipeline operations ----------------------------------------------
 
@@ -139,19 +157,57 @@ class CompileSession:
                      decomp: Optional[Decomposition]) -> SpmdProgram:
         self._restructure_into(ctx)
         if ctx.scheme is Scheme.BASE:
-            return self.manager.execute(self._spmd, ctx)
-        if decomp is not None:
-            ctx.decomp_token = fingerprint_decomposition(decomp)
-            ctx.artifacts[ART_DECOMPOSITION] = decomp
+            spmd = self.manager.execute(self._spmd, ctx)
         else:
-            self.manager.execute(self._decompose, ctx)
-        self.manager.execute(self._layout, ctx)
-        return self.manager.execute(self._spmd, ctx)
+            if decomp is not None:
+                ctx.decomp_token = fingerprint_decomposition(decomp)
+                ctx.artifacts[ART_DECOMPOSITION] = decomp
+            else:
+                self.manager.execute(self._decompose, ctx)
+            self.manager.execute(self._layout, ctx)
+            spmd = self.manager.execute(self._spmd, ctx)
+        if self.verify:
+            self.manager.execute(self._verify, ctx)
+        return spmd
 
     def _restructure_into(self, ctx: PassContext) -> Program:
         out = self.manager.execute(self._restructure, ctx)
         ctx.artifacts[ART_RESTRUCTURED] = out
         return out
+
+    def compile_degradable(
+        self,
+        prog: Program,
+        scheme: Scheme,
+        nprocs: int,
+        **kw,
+    ) -> Tuple[SpmdProgram, Optional[str]]:
+        """:meth:`compile` with graceful degradation.
+
+        If a decomposition-scheme compile fails, fall back to the
+        sequential-layout ``BASE`` scheme for the same point instead of
+        aborting — the batch driver uses this so one broken scheme
+        cannot sink a whole grid.  Returns ``(spmd, reason)`` where
+        ``reason`` is ``None`` on the normal path and a one-line
+        description of the original failure when degraded.  ``BASE``
+        compiles (no fallback left) and non-exception conditions
+        propagate unchanged.
+        """
+        try:
+            return self.compile(prog, scheme, nprocs, **kw), None
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            if scheme is Scheme.BASE:
+                raise
+            reason = f"{type(exc).__name__}: {exc}"
+            obs.inc("pipeline.degraded")
+            obs.event("pipeline.degraded", cat="pipeline",
+                      program=prog.name, scheme=scheme.value,
+                      nprocs=nprocs, error=reason)
+            kw.pop("decomp", None)
+            spmd = self.compile(prog, Scheme.BASE, nprocs, **kw)
+            return spmd, reason
 
     def compile_all(self, prog: Program, nprocs: int,
                     max_dims: Optional[int] = None) -> "CompiledProgram":

@@ -1,0 +1,43 @@
+"""repro.verify — the semantic verification oracle.
+
+The paper's contract is that the compiler transforms *where* data live
+and *who* computes, never *what* is computed.  This package checks that
+contract end to end: :func:`verify_spmd` executes a compiled SPMD plan
+(all processors, transformed layouts, div/mod addressing, replicated
+copies) in lockstep with a sequential interpretation of the
+untransformed source and compares array contents bit-for-bit after
+every phase, reporting first-divergence diagnostics (array, index,
+owning processor, phase, time step).
+
+Entry points:
+
+* :func:`verify_spmd` — oracle for one compiled plan;
+* :func:`verify_point` / :func:`verify_grid` — compile-and-verify
+  drivers over ``app × scheme × nprocs`` coordinates (the
+  ``python -m repro verify`` command and the ``--verify`` flags);
+* :class:`~repro.pipeline.passes.VerifyPass` — the same oracle as an
+  optional pipeline pass (``CompileSession(verify=True)`` or
+  ``REPRO_VERIFY=1``).
+"""
+
+from repro.verify.oracle import Divergence, VerifyResult, verify_spmd
+from repro.verify.runner import (
+    DEFAULT_VERIFY_N,
+    DEFAULT_VERIFY_PROCS,
+    format_verify_table,
+    grid_ok,
+    verify_grid,
+    verify_point,
+)
+
+__all__ = [
+    "Divergence",
+    "VerifyResult",
+    "verify_spmd",
+    "DEFAULT_VERIFY_N",
+    "DEFAULT_VERIFY_PROCS",
+    "format_verify_table",
+    "grid_ok",
+    "verify_grid",
+    "verify_point",
+]

@@ -1,0 +1,109 @@
+"""Grid driver for the verification oracle.
+
+Verifies ``app × scheme × nprocs`` coordinates at a small problem size:
+each point builds the app, compiles it through a
+:class:`~repro.pipeline.session.CompileSession` (so artifacts are shared
+across the grid exactly like a real run) and hands the plan to
+:func:`~repro.verify.oracle.verify_spmd`.  A point that fails to
+*compile* is reported as a failed point rather than aborting the grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.verify.oracle import VerifyResult, verify_spmd
+
+__all__ = [
+    "DEFAULT_VERIFY_N",
+    "DEFAULT_VERIFY_PROCS",
+    "verify_point",
+    "verify_grid",
+    "grid_ok",
+    "format_verify_table",
+]
+
+DEFAULT_VERIFY_N = 8
+DEFAULT_VERIFY_PROCS = (1, 2, 4)
+
+
+def verify_point(
+    app: str,
+    scheme,
+    nprocs: int,
+    n: Optional[int] = DEFAULT_VERIFY_N,
+    time_steps: Optional[int] = None,
+    session=None,
+) -> VerifyResult:
+    """Compile one (app, scheme, nprocs) point at a small size and run
+    the oracle on it.  Compile failures become failed results."""
+    from repro.apps import build_app
+    from repro.codegen.spmd import parse_scheme
+    from repro.pipeline.session import CompileSession
+
+    scheme = parse_scheme(scheme)
+    try:
+        prog = build_app(app, n=n, time_steps=time_steps)
+        session = session or CompileSession()
+        spmd = session.compile(prog, scheme, nprocs)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:
+        return VerifyResult(
+            program=app,
+            scheme=scheme.value,
+            nprocs=nprocs,
+            ok=False,
+            reason="compile failed: "
+            + traceback.format_exc(limit=5).strip().splitlines()[-1],
+        )
+    return verify_spmd(spmd, prog)
+
+
+def verify_grid(
+    apps: Sequence[str],
+    schemes: Sequence,
+    procs: Sequence[int] = DEFAULT_VERIFY_PROCS,
+    n: Optional[int] = DEFAULT_VERIFY_N,
+    time_steps: Optional[int] = None,
+    session=None,
+) -> List[VerifyResult]:
+    """Run the oracle over the full cartesian grid, sharing one compile
+    session so restructure/decompose artifacts are reused."""
+    from repro.pipeline.session import CompileSession
+
+    session = session or CompileSession()
+    return [
+        verify_point(a, s, p, n=n, time_steps=time_steps, session=session)
+        for a, s, p in itertools.product(apps, schemes, procs)
+    ]
+
+
+def grid_ok(results: Sequence[VerifyResult]) -> bool:
+    return bool(results) and all(r.ok for r in results)
+
+
+def format_verify_table(results: Sequence[VerifyResult],
+                        title: str = "semantic verification") -> str:
+    """Fixed-width report, one line per grid point."""
+    lines = [title]
+    lines.append(
+        f"{'app':12s} {'scheme':28s} {'P':>3s} {'phases':>7s} "
+        f"{'elements':>9s}  status"
+    )
+    for r in results:
+        status = "ok" if r.ok else "FAIL — " + (
+            r.reason or (r.divergence.describe() if r.divergence else "?")
+        )
+        lines.append(
+            f"{r.program:12s} {r.scheme:28s} {r.nprocs:3d} "
+            f"{r.phases_checked:7d} {r.elements_checked:9d}  {status}"
+        )
+    nfail = sum(1 for r in results if not r.ok)
+    lines.append(
+        f"{len(results)} points, {len(results) - nfail} ok, {nfail} failed"
+    )
+    return "\n".join(lines)

@@ -136,7 +136,7 @@ class TestArtifactCache:
         path.write_bytes(b"not a pickle")
         fresh = ArtifactCache(disk_dir=tmp_path)
         assert fresh.get("deadbeef") is MISS
-        assert fresh.stats.disk_errors == 1
+        assert fresh.stats.corrupt == 1
 
 
 class TestSessionMemoization:
