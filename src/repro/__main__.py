@@ -344,8 +344,13 @@ def cmd_verify(args) -> int:
 def cmd_batch(args) -> int:
     import os
 
-    from repro import faults
-    from repro.pipeline.batch import make_grid, run_batch, summarize
+    from repro import faults, obs
+    from repro.pipeline.batch import (
+        make_grid,
+        merged_trace,
+        run_batch,
+        summarize,
+    )
 
     apps = _split_csv(args.apps)
     if not apps:
@@ -388,12 +393,19 @@ def cmd_batch(args) -> int:
         # workers inherit the same deterministic plan.
         faults.configure(spec)
         os.environ[faults.ENV_FLAG] = spec
+    # --trace-out / --json both need telemetry: the driver records its
+    # own spans (retry/respawn accounting; in serial mode every point)
+    # and parallel workers ship per-point snapshots back for the merge.
+    collect = bool(args.trace_out or args.json)
+    if collect:
+        obs.enable(reset=True)
     try:
         results = run_batch(
             points, jobs=args.jobs,
             cache=not args.no_cache, disk_dir=disk_dir,
             timeout=args.timeout, retries=args.retries,
             backoff=args.backoff, degrade=not args.no_degrade,
+            collect_telemetry=collect,
         )
     finally:
         if args.inject_faults is not None:
@@ -402,6 +414,10 @@ def cmd_batch(args) -> int:
                 os.environ.pop(faults.ENV_FLAG, None)
             else:
                 os.environ[faults.ENV_FLAG] = saved_faults
+    merged = None
+    if collect:
+        merged = merged_trace(results)
+        obs.disable()
 
     print(f"{'app':12s} {'scheme':6s} {'P':>3s} {'time':>12s} "
           f"{'accesses':>10s} {'runs':>5s} {'hits':>5s} {'try':>3s}"
@@ -434,13 +450,20 @@ def cmd_batch(args) -> int:
     print(f"cache hits: {hits or 'none'}")
     print(f"fully cached: {'yes' if agg['fully_cached'] else 'no'}")
 
+    if args.trace_out and merged is not None:
+        merged.write(args.trace_out)
+        pids = ", ".join(str(p) for p in merged.worker_pids())
+        print(f"wrote merged Chrome trace to {args.trace_out} "
+              f"(worker pids: {pids or 'none — serial run'}; load in "
+              "chrome://tracing or https://ui.perfetto.dev)")
+
     if args.json:
+        payload = {"summary": agg,
+                   "results": [r.as_dict() for r in results]}
+        if merged is not None:
+            payload["telemetry"] = _batch_telemetry(merged, agg)
         with open(args.json, "w") as fh:
-            json.dump(
-                {"summary": agg,
-                 "results": [r.as_dict() for r in results]},
-                fh, indent=2, default=str,
-            )
+            json.dump(payload, fh, indent=2, default=str)
         print(f"wrote JSON results to {args.json}")
 
     rc = 1 if agg["errors"] else 0
@@ -452,6 +475,104 @@ def cmd_batch(args) -> int:
         verify_rc = _post_run_verify(
             apps, schemes, procs, args.verify_n, args.time_steps)
         rc = rc or verify_rc
+    return rc
+
+
+def _batch_telemetry(merged, agg) -> dict:
+    """The ``--json`` telemetry block: batch-level health counters
+    aggregated across the driver and every worker lane, with the full
+    per-lane counter provenance alongside."""
+    metrics = merged.merged_metrics()
+    counters = metrics["counters"]
+
+    def total(name: str) -> int:
+        entry = counters.get(name)
+        return entry["total"] if entry else 0
+
+    def prefixed(prefix: str) -> dict:
+        return {
+            name: entry["total"]
+            for name, entry in sorted(counters.items())
+            if name.startswith(prefix)
+        }
+
+    return {
+        "workers": len(merged.worker_pids()),
+        "pass_runs": agg["pass_runs"],
+        "pass_hits": agg["pass_hits"],
+        "total_pass_runs": agg["total_pass_runs"],
+        "fully_cached": agg["fully_cached"],
+        "retries": total("batch.retries"),
+        "timeouts": total("batch.timeouts"),
+        "respawns": total("batch.respawns"),
+        "worker_lost": total("batch.worker_lost"),
+        "degraded": total("pipeline.degraded"),
+        "faults": prefixed("faults."),
+        "cache": prefixed("pipeline.cache."),
+        "quarantine_evicted": total("cache.quarantine.evicted"),
+        "counters": counters,
+    }
+
+
+def cmd_bench(args) -> int:
+    from repro.obs.bench import (
+        compare_snapshots,
+        load_snapshot,
+        run_bench,
+        save_snapshot,
+    )
+    from repro.report import format_bench_table, format_regression_table
+
+    apps = _split_csv(args.apps)
+    if not apps:
+        raise SystemExit("no apps selected")
+    for a in apps:
+        if a not in ALL_APPS:
+            raise SystemExit(
+                f"unknown app {a!r}; available: "
+                f"{', '.join(sorted(ALL_APPS))}"
+            )
+    try:
+        schemes = [parse_scheme(s) for s in _split_csv(args.schemes)]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not schemes:
+        raise SystemExit("no schemes selected")
+
+    # Resolve the baseline before saving: --compare against the
+    # pointer file must mean "the previous run", not the snapshot this
+    # run is about to write.
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_snapshot(args.compare)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}")
+
+    snap = run_bench(
+        apps=apps, schemes=schemes, procs=args.procs_list,
+        n=args.n, time_steps=args.time_steps, scale=args.scale,
+        repeats=args.repeats,
+    )
+    print(format_bench_table(snap))
+
+    if not args.no_save:
+        path, latest = save_snapshot(snap, out_dir=args.out_dir,
+                                     latest=args.latest)
+        print(f"\nwrote snapshot to {path}"
+              + (f" (pointer: {latest})" if latest else ""))
+
+    rc = 0
+    if baseline is not None:
+        cmp = compare_snapshots(baseline, snap, wall_tol=args.wall_tol,
+                                wall_abs_floor=args.wall_abs_floor)
+        print()
+        print(format_regression_table(
+            cmp, title=f"bench comparison vs {args.compare}",
+            show_ok=args.show_ok,
+        ))
+        if not cmp.ok:
+            rc = 1
     return rc
 
 
@@ -569,11 +690,50 @@ def main(argv=None) -> int:
     p.add_argument("--verify-n", type=_positive_int, default=8,
                    help="problem size for --verify (default 8)")
     p.add_argument("--json", default=None,
-                   help="write per-point results + summary as JSON")
+                   help="write per-point results + summary + telemetry "
+                        "as JSON")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a merged Chrome trace with one lane per "
+                        "worker process (clock-skew corrected)")
     p.add_argument("--expect-cached", action="store_true",
                    help="exit nonzero unless the whole grid was served "
                         "from the cache (CI warm-run guard)")
     _add_cache_flags(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned perf grid; record a snapshot and/or "
+             "compare against a baseline",
+    )
+    p.add_argument("--apps", default="simple,stencil5",
+                   help="comma-separated app names")
+    p.add_argument("--schemes", default="base,comp,data",
+                   help="comma-separated scheme names (any alias)")
+    p.add_argument("--procs-list", type=_procs_csv, default="1,4",
+                   help="comma-separated processor counts")
+    p.add_argument("--n", type=_positive_int, default=16,
+                   help="problem size per app")
+    p.add_argument("--time-steps", type=_positive_int, default=None)
+    p.add_argument("--scale", type=_positive_int, default=16)
+    p.add_argument("--repeats", type=_positive_int, default=3,
+                   help="timed simulate() repetitions per point")
+    p.add_argument("--out-dir", default="results/bench",
+                   help="snapshot directory (BENCH_<timestamp>.json)")
+    p.add_argument("--latest", default="BENCH_latest.json",
+                   help="repo-root pointer file updated on save")
+    p.add_argument("--no-save", action="store_true",
+                   help="run and print without writing a snapshot")
+    p.add_argument("--compare", default=None, metavar="BASELINE",
+                   help="baseline snapshot (or pointer) to gate "
+                        "against; exits nonzero on regression")
+    p.add_argument("--wall-tol", type=_positive_float, default=0.30,
+                   help="relative wall-time tolerance for --compare "
+                        "(min-of-N; only gated on the same host)")
+    p.add_argument("--wall-abs-floor", type=_nonneg_float, default=0.010,
+                   help="absolute wall-time slack in seconds; a "
+                        "regression must exceed both thresholds")
+    p.add_argument("--show-ok", action="store_true",
+                   help="include passing rows in the comparison table")
 
     args = parser.parse_args(argv)
     return {
@@ -584,6 +744,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "verify": cmd_verify,
         "batch": cmd_batch,
+        "bench": cmd_bench,
     }[args.command](args)
 
 

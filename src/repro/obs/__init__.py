@@ -45,6 +45,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.export import (
+    collector_state,
+    lane_trace_events,
     summary,
     to_chrome_trace,
     to_json,
@@ -74,6 +76,8 @@ __all__ = [
     "inc",
     "reset",
     "span",
+    "collector_state",
+    "lane_trace_events",
     "summary",
     "to_chrome_trace",
     "to_json",

@@ -1,0 +1,210 @@
+"""Cross-process telemetry aggregation.
+
+The batch driver's ``ProcessPoolExecutor`` workers each record into
+their own process-local collector; this module is how those recordings
+survive the process boundary and come back together:
+
+* :func:`snapshot` — freeze the active collector into a JSON/pickle
+  safe dict (``repro.obs.export.collector_state``) stamped with the
+  worker PID and a paired ``(perf_counter, wall-clock)`` reference so
+  the parent can correct clock skew;
+* :func:`clock_offset` — the seconds to add to a snapshot's raw
+  ``perf_counter`` timestamps to land them on another process's
+  ``perf_counter`` timeline (both processes' wall clocks are the
+  shared ruler);
+* :class:`MergedTrace` — the driver-side merge: one Chrome-trace lane
+  per worker PID (skew-corrected against the driver's clock, timed
+  events monotonic within each lane), per-snapshot tags (attempt /
+  retry / fault accounting from the batch hardening) threaded onto the
+  worker's root spans, and counter/gauge/histogram aggregation with
+  per-lane provenance.
+
+A chaos run is then fully reconstructable from one trace file: every
+worker's pass spans, fault-injection events, and cache counters appear
+on that worker's lane next to the driver's own retry/respawn record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import core
+from repro.obs.export import collector_state, lane_trace_events
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "MergedTrace",
+    "clock_offset",
+    "snapshot",
+]
+
+SNAPSHOT_SCHEMA = 1
+
+DRIVER_LANE = "driver"
+
+
+def snapshot(collector=None, pid: Optional[int] = None) -> Dict[str, Any]:
+    """Freeze the collector for shipment across a process boundary.
+
+    The ``perf_ref``/``wall_ref`` pair is read at snapshot time; the
+    difference ``wall_ref - perf_ref`` is a per-process constant, so
+    the pair taken *whenever* suffices to map this process's raw
+    ``perf_counter`` readings onto any other process's timeline (see
+    :func:`clock_offset`).
+    """
+    c = collector or core.collector()
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "pid": os.getpid() if pid is None else pid,
+        "perf_ref": time.perf_counter(),
+        "wall_ref": time.time(),
+        **collector_state(c),
+    }
+
+
+def clock_offset(snap: Dict[str, Any], ref: Dict[str, Any]) -> float:
+    """Seconds to add to ``snap``'s raw ``perf_counter`` timestamps so
+    they read on ``ref``'s ``perf_counter`` timeline.
+
+    Derivation: for each process ``wall ≈ perf + delta`` with its own
+    constant ``delta = wall_ref - perf_ref``; a worker instant ``t``
+    is wall time ``t + delta_w``, i.e. ``t + delta_w - delta_r`` on the
+    reference's perf clock.
+    """
+    delta_snap = snap["wall_ref"] - snap["perf_ref"]
+    delta_ref = ref["wall_ref"] - ref["perf_ref"]
+    return delta_snap - delta_ref
+
+
+def _lane_label(pid: int, parent_pid: int) -> str:
+    return DRIVER_LANE if pid == parent_pid else f"worker-{pid}"
+
+
+class MergedTrace:
+    """Driver-side merge of one parent recording plus worker snapshots."""
+
+    def __init__(self, parent: Optional[Dict[str, Any]] = None):
+        self.parent = parent if parent is not None else snapshot()
+        self._workers: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+
+    def add_worker(self, snap: Dict[str, Any],
+                   tags: Optional[Dict[str, Any]] = None) -> None:
+        """Attach one worker snapshot.  ``tags`` (e.g. ``attempts``,
+        ``degraded``, ``faults``) are threaded onto the snapshot's root
+        spans when the trace is rendered."""
+        if snap.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"telemetry snapshot schema {snap.get('schema')!r} != "
+                f"{SNAPSHOT_SCHEMA}"
+            )
+        self._workers.append((snap, dict(tags or {})))
+
+    def worker_pids(self) -> List[int]:
+        """Distinct worker PIDs, in first-seen order."""
+        out: List[int] = []
+        for snap, _ in self._workers:
+            if snap["pid"] not in out:
+                out.append(snap["pid"])
+        return out
+
+    # -- Chrome trace -------------------------------------------------------
+
+    @staticmethod
+    def _tagged_spans(snap: Dict[str, Any],
+                      tags: Dict[str, Any]) -> List[Dict[str, Any]]:
+        if not tags:
+            return snap["spans"]
+        recorded = {s["id"] for s in snap["spans"]}
+        out = []
+        for s in snap["spans"]:
+            if s["parent"] is None or s["parent"] not in recorded:
+                s = {**s, "attrs": {**s["attrs"], **tags}}
+            out.append(s)
+        return out
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """One trace, one lane per PID, driver timeline as the ruler."""
+        t0 = self.parent["t0"]
+        parent_pid = self.parent["pid"]
+        out: List[Dict[str, Any]] = []
+        lanes: Dict[int, List[Dict[str, Any]]] = {}
+
+        def lane(pid: int, label: str) -> List[Dict[str, Any]]:
+            if pid not in lanes:
+                out.append({"name": "process_name", "ph": "M", "pid": pid,
+                            "tid": 0, "args": {"name": label}})
+                lanes[pid] = []
+            return lanes[pid]
+
+        lane(parent_pid, DRIVER_LANE).extend(lane_trace_events(
+            self.parent, pid=parent_pid, t0=t0))
+        for snap, tags in self._workers:
+            pid = snap["pid"]
+            state = {**snap, "spans": self._tagged_spans(snap, tags)}
+            lane(pid, _lane_label(pid, parent_pid)).extend(
+                lane_trace_events(
+                    state, pid=pid, t0=t0,
+                    shift=clock_offset(snap, self.parent),
+                )
+            )
+        for pid in lanes:
+            lanes[pid].sort(key=lambda e: e["ts"])
+            out.extend(lanes[pid])
+        return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> str:
+        """Write the merged Chrome trace to ``path``; returns it."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+        return path
+
+    # -- metric aggregation -------------------------------------------------
+
+    def _all_lanes(self):
+        parent_pid = self.parent["pid"]
+        yield DRIVER_LANE, self.parent
+        for snap, _ in self._workers:
+            yield _lane_label(snap["pid"], parent_pid), snap
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        """Aggregate every lane's registry with per-lane provenance.
+
+        Counters and histogram counts/sums add across lanes (two points
+        run on one worker add into that worker's lane); gauges are
+        last-write-wins per lane and reported per lane only.
+        """
+        counters: Dict[str, Dict[str, Any]] = {}
+        gauges: Dict[str, Dict[str, float]] = {}
+        hists: Dict[str, Dict[str, Any]] = {}
+        for label, snap in self._all_lanes():
+            m = snap["metrics"]
+            for name, value in m["counters"].items():
+                c = counters.setdefault(name, {"total": 0, "lanes": {}})
+                c["total"] += value
+                c["lanes"][label] = c["lanes"].get(label, 0) + value
+            for name, value in m["gauges"].items():
+                gauges.setdefault(name, {})[label] = value
+            for name, h in m["histograms"].items():
+                agg = hists.setdefault(name, {
+                    "count": 0, "sum": 0.0, "min": None, "max": None,
+                    "lanes": {},
+                })
+                agg["count"] += h["count"]
+                agg["sum"] += h["sum"]
+                for key, pick in (("min", min), ("max", max)):
+                    if h[key] is not None:
+                        agg[key] = (h[key] if agg[key] is None
+                                    else pick(agg[key], h[key]))
+                agg["lanes"][label] = h
+        return {"counters": counters, "gauges": gauges,
+                "histograms": hists}
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across every lane (0 when absent)."""
+        return sum(
+            snap["metrics"]["counters"].get(name, 0)
+            for _, snap in self._all_lanes()
+        )

@@ -1,0 +1,452 @@
+"""Persistent perf-regression harness.
+
+The paper's claims are quantitative, so the repo tracks its own
+performance trajectory: :func:`run_bench` executes a pinned
+``app x scheme x procs`` grid, timing each point's simulation N times
+(wall-clock percentiles) and recording the deterministic
+simulated-machine metrics — miss classes, NUMA local/remote, conflict
+sets, and the Section-4.3 addressing-overhead counts — into a
+schema-versioned snapshot.  :func:`save_snapshot` persists snapshots as
+``results/bench/BENCH_<timestamp>.json`` plus a repo-root
+``BENCH_latest.json`` pointer, and :func:`compare_snapshots` gates a
+new snapshot against a baseline with noise-aware thresholds:
+
+* **wall time** — min-of-N against min-of-N with a relative tolerance,
+  and only when both snapshots come from the same host (a committed
+  baseline from another machine can't gate wall time meaningfully);
+* **simulated counters** — exact match (the simulator is
+  deterministic, so *any* drift is a semantic change that must be
+  either fixed or explicitly re-baselined).
+
+``python -m repro bench`` is the CLI;
+``python -m repro bench --compare BENCH_latest.json`` exits nonzero on
+regression, which CI uses as a gate
+(:func:`repro.report.format_regression_table` renders the verdict).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.obs import core as _obs_core
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchComparison",
+    "DeltaRow",
+    "append_series",
+    "compare_snapshots",
+    "host_fingerprint",
+    "load_snapshot",
+    "point_key",
+    "run_bench",
+    "save_snapshot",
+]
+
+SCHEMA_VERSION = 1
+
+DEFAULT_APPS = ("simple", "stencil5")
+DEFAULT_SCHEMES = ("base", "comp", "data")
+DEFAULT_PROCS = (1, 4)
+DEFAULT_N = 16
+DEFAULT_REPEATS = 3
+DEFAULT_SCALE = 16
+DEFAULT_OUT_DIR = os.path.join("results", "bench")
+LATEST_POINTER = "BENCH_latest.json"
+
+DEFAULT_WALL_TOL = 0.30
+# Absolute slack under the relative wall gate: scheduler jitter on a
+# sub-10ms measurement easily exceeds 30% relative, so a regression
+# must also be at least this many seconds to fail.
+DEFAULT_WALL_ABS_FLOOR = 0.010
+FLOAT_REL_TOL = 1e-9
+
+# Statuses that fail the gate: a slower wall time, a drifted simulated
+# counter, a vanished grid point, or an incomparable snapshot.
+_FAILING = ("regressed", "changed", "missing", "incomparable")
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Identity of the measuring machine; wall-time comparisons are
+    only meaningful between equal fingerprints."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "node": platform.node(),
+    }
+
+
+def point_key(point: Dict[str, Any]) -> str:
+    return f"{point['app']}/{point['scheme']}/P{point['nprocs']}"
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of a non-empty sample list."""
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = q * (len(xs) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(xs) - 1)
+    return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+
+def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
+                 repeats: int) -> Dict[str, Any]:
+    from repro.codegen.emit_optimized import emit_optimized_program
+    from repro.codegen.spmd import scheme_short_name
+    from repro.machine import scaled_dash
+    from repro.machine.simulate import simulate
+
+    machine = scaled_dash(
+        nprocs, scale=scale,
+        word_bytes=min(d.element_size for d in prog.arrays.values()),
+    )
+    # Compile once (timed), with a private collector capturing the
+    # addressing-overhead counters the optimizer emits; the optimized
+    # emitter is what exercises the div/mod strength reduction.
+    obs.enable(reset=True)
+    t0 = time.perf_counter()
+    spmd = session.compile(prog, scheme, nprocs)
+    compile_s = time.perf_counter() - t0
+    emit_optimized_program(spmd)
+    counters = obs.collector().metrics.snapshot()["counters"]
+    addressing = {
+        name.split(".", 1)[1]: value
+        for name, value in counters.items()
+        if name.startswith("addropt.")
+    }
+    obs.disable()
+    obs.reset()
+
+    # One detail run for the deterministic machine metrics ...
+    res = simulate(spmd, machine, detail=True)
+    sim: Dict[str, Any] = {
+        "total_time": res.total_time,
+        "n_accesses": res.n_accesses,
+        "misses": {k: int(v) for k, v in sorted(res.miss_breakdown.items())},
+        "addressing": addressing,
+    }
+    if res.numa:
+        sim["numa"] = {
+            "local_misses": int(res.numa["local_misses"]),
+            "remote_misses": int(res.numa["remote_misses"]),
+            "local_ratio": float(res.numa["local_ratio"]),
+        }
+    if res.conflict_sets:
+        cs = res.conflict_sets
+        sim["conflict"] = {
+            "replacement_misses": int(cs["replacement_misses"]),
+            "nsets": int(cs["nsets"]),
+            "max_per_set": int(cs["max_per_set"]),
+        }
+
+    # ... and N timed repeats of the plain simulation for wall time.
+    samples: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate(spmd, machine)
+        samples.append(time.perf_counter() - t0)
+    return {
+        "app": app,
+        "scheme": scheme_short_name(scheme),
+        "nprocs": nprocs,
+        "compile_s": compile_s,
+        "wall": {
+            "repeats": repeats,
+            "samples": samples,
+            "min": min(samples),
+            "p50": _percentile(samples, 0.5),
+            "mean": sum(samples) / len(samples),
+            "max": max(samples),
+        },
+        "sim": sim,
+    }
+
+
+def run_bench(
+    apps: Sequence[str] = DEFAULT_APPS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    procs: Sequence[int] = DEFAULT_PROCS,
+    n: int = DEFAULT_N,
+    time_steps: Optional[int] = None,
+    scale: int = DEFAULT_SCALE,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, Any]:
+    """Run the grid and return one schema-versioned snapshot dict.
+
+    The global obs state is saved and restored around the run (the
+    harness uses private collectors to read compiler counters without
+    polluting — or being polluted by — whatever the caller records).
+    """
+    from repro.apps import build_app
+    from repro.codegen.spmd import parse_scheme, scheme_short_name
+    from repro.pipeline.session import CompileSession
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    parsed = [parse_scheme(s) for s in schemes]
+    session = CompileSession()
+    saved_enabled = _obs_core._enabled
+    saved_collector = _obs_core._collector
+    points: List[Dict[str, Any]] = []
+    try:
+        obs.disable()
+        for app in apps:
+            prog = build_app(app, n=n, time_steps=time_steps)
+            for scheme in parsed:
+                for p in procs:
+                    points.append(_bench_point(
+                        session, app, prog, scheme, p, scale, repeats))
+    finally:
+        _obs_core._collector = saved_collector
+        _obs_core._enabled = saved_enabled
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
+        "host": host_fingerprint(),
+        "config": {
+            "apps": list(apps),
+            "schemes": [scheme_short_name(s) for s in parsed],
+            "procs": list(procs),
+            "n": n,
+            "time_steps": time_steps,
+            "scale": scale,
+            "repeats": repeats,
+        },
+        "points": points,
+    }
+
+
+# -- persistence -------------------------------------------------------------
+
+def save_snapshot(
+    snap: Dict[str, Any],
+    out_dir: os.PathLike = DEFAULT_OUT_DIR,
+    latest: Optional[os.PathLike] = LATEST_POINTER,
+) -> Tuple[str, Optional[str]]:
+    """Write ``BENCH_<timestamp>.json`` under ``out_dir`` and refresh
+    the ``latest`` pointer file; returns ``(snapshot_path,
+    latest_path)``.  ``latest=None`` skips the pointer."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stamp = snap["created"].replace("-", "").replace(":", "")
+    path = out / f"BENCH_{stamp}.json"
+    serial = 0
+    while path.exists():
+        serial += 1
+        path = out / f"BENCH_{stamp}-{serial}.json"
+    with open(path, "w") as fh:
+        json.dump(snap, fh, indent=1)
+    latest_path: Optional[str] = None
+    if latest is not None:
+        pointer = {
+            "schema": SCHEMA_VERSION,
+            "pointer": str(path),
+            "created": snap["created"],
+        }
+        with open(latest, "w") as fh:
+            json.dump(pointer, fh, indent=1)
+        latest_path = str(latest)
+    return str(path), latest_path
+
+
+def append_series(name: str, payload: Dict[str, Any],
+                  path: Optional[os.PathLike] = None) -> str:
+    """Append one experiment's measured series to the benchmark history
+    (default ``$REPRO_RESULTS_DIR/bench/series.jsonl``): one
+    timestamped, host-stamped JSON object per line, so every benchmark
+    run grows a comparable time series next to the ``bench`` grid
+    snapshots.  Returns the path written."""
+    if path is None:
+        root = os.environ.get("REPRO_RESULTS_DIR", "results")
+        path = os.path.join(root, "bench", "series.jsonl")
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    line = {
+        "schema": SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
+        "host": host_fingerprint(),
+        "name": name,
+        **payload,
+    }
+    with open(p, "a") as fh:
+        fh.write(json.dumps(line, default=str) + "\n")
+    return str(p)
+
+
+def load_snapshot(path: os.PathLike) -> Dict[str, Any]:
+    """Load a snapshot, transparently following pointer files (a
+    ``BENCH_latest.json`` whose ``pointer`` names the real snapshot;
+    relative pointers resolve against the pointer file's directory)."""
+    path = Path(path)
+    for _ in range(4):  # pointer chains are short; bound anyway
+        with open(path) as fh:
+            data = json.load(fh)
+        target = data.get("pointer")
+        if target is None:
+            return data
+        candidate = Path(target)
+        if not candidate.is_absolute() and not candidate.exists():
+            candidate = path.parent / target
+        path = candidate
+    raise ValueError(f"pointer chain too deep starting at {path}")
+
+
+# -- comparison --------------------------------------------------------------
+
+@dataclass
+class DeltaRow:
+    """One compared metric of one grid point."""
+
+    point: str
+    metric: str
+    baseline: Any
+    current: Any
+    status: str  # ok | improved | regressed | changed | missing | new
+                 # | skipped | incomparable
+    note: str = ""
+
+    @property
+    def failing(self) -> bool:
+        return self.status in _FAILING
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of one baseline-vs-current snapshot comparison."""
+
+    rows: List[DeltaRow] = field(default_factory=list)
+    wall_tol: float = DEFAULT_WALL_TOL
+    wall_abs_floor: float = DEFAULT_WALL_ABS_FLOOR
+    wall_gated: bool = True
+
+    @property
+    def regressions(self) -> List[DeltaRow]:
+        return [r for r in self.rows if r.failing]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _flatten_sim(sim: Dict[str, Any], prefix: str = "sim") -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in sim.items():
+        name = f"{prefix}.{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_sim(value, name))
+        else:
+            flat[name] = value
+    return flat
+
+
+def _values_match(a: Any, b: Any) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(a, b, rel_tol=FLOAT_REL_TOL, abs_tol=1e-12)
+    return a == b
+
+
+def compare_snapshots(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    wall_tol: float = DEFAULT_WALL_TOL,
+    wall_abs_floor: float = DEFAULT_WALL_ABS_FLOOR,
+) -> BenchComparison:
+    """Gate ``current`` against ``baseline``.
+
+    Simulated counters must match exactly (any drift fails); wall time
+    fails only when the current min-of-N exceeds the baseline min-of-N
+    by more than ``wall_tol`` relative AND ``wall_abs_floor`` seconds
+    absolute — and is skipped entirely when the host fingerprints
+    differ.
+    """
+    cmp = BenchComparison(wall_tol=wall_tol, wall_abs_floor=wall_abs_floor)
+    if baseline.get("schema") != current.get("schema"):
+        cmp.rows.append(DeltaRow(
+            point="*", metric="schema",
+            baseline=baseline.get("schema"), current=current.get("schema"),
+            status="incomparable", note="snapshot schema differs",
+        ))
+        return cmp
+    base_cfg = {k: v for k, v in baseline["config"].items()
+                if k in ("n", "time_steps", "scale")}
+    cur_cfg = {k: v for k, v in current["config"].items()
+               if k in ("n", "time_steps", "scale")}
+    if base_cfg != cur_cfg:
+        cmp.rows.append(DeltaRow(
+            point="*", metric="config",
+            baseline=base_cfg, current=cur_cfg,
+            status="incomparable",
+            note="grids measured at different problem sizes",
+        ))
+        return cmp
+    cmp.wall_gated = baseline.get("host") == current.get("host")
+
+    cur_points = {point_key(p): p for p in current["points"]}
+    seen = set()
+    for bp in baseline["points"]:
+        key = point_key(bp)
+        seen.add(key)
+        cp = cur_points.get(key)
+        if cp is None:
+            cmp.rows.append(DeltaRow(
+                point=key, metric="*", baseline="present", current="absent",
+                status="missing", note="grid point vanished",
+            ))
+            continue
+        # Simulated machine counters: exact match.
+        base_sim = _flatten_sim(bp["sim"])
+        cur_sim = _flatten_sim(cp["sim"])
+        for metric in sorted(set(base_sim) | set(cur_sim)):
+            if metric not in base_sim or metric not in cur_sim:
+                cmp.rows.append(DeltaRow(
+                    point=key, metric=metric,
+                    baseline=base_sim.get(metric),
+                    current=cur_sim.get(metric),
+                    status="changed", note="metric appeared/disappeared",
+                ))
+            elif not _values_match(base_sim[metric], cur_sim[metric]):
+                cmp.rows.append(DeltaRow(
+                    point=key, metric=metric,
+                    baseline=base_sim[metric], current=cur_sim[metric],
+                    status="changed",
+                    note="simulated counter drifted (exact-match gate)",
+                ))
+        # Wall time: min-of-N with relative tolerance, same host only.
+        base_min = bp["wall"]["min"]
+        cur_min = cp["wall"]["min"]
+        if not cmp.wall_gated:
+            status, note = "skipped", "different host; wall gate off"
+        elif (cur_min > base_min * (1.0 + wall_tol)
+              and cur_min - base_min > wall_abs_floor):
+            status = "regressed"
+            note = f"min-of-N wall time over +{wall_tol:.0%} threshold"
+        elif (cur_min < base_min * (1.0 - wall_tol)
+              and base_min - cur_min > wall_abs_floor):
+            status, note = "improved", "consider re-baselining"
+        else:
+            status, note = "ok", ""
+        cmp.rows.append(DeltaRow(
+            point=key, metric="wall.min",
+            baseline=base_min, current=cur_min, status=status, note=note,
+        ))
+    for key in cur_points:
+        if key not in seen:
+            cmp.rows.append(DeltaRow(
+                point=key, metric="*", baseline="absent", current="present",
+                status="new", note="not in baseline",
+            ))
+    return cmp

@@ -10,6 +10,13 @@ Three output shapes:
   span counters plus registry counters become counter ("C") tracks;
 * :func:`summary` — a human-readable span tree with durations,
   attached counters, and the metric totals.
+
+Lane support: :func:`collector_state` freezes a collector into a plain
+JSON/pickle-safe dict (raw ``perf_counter`` timestamps preserved) and
+:func:`lane_trace_events` renders such a state into one Chrome-trace
+lane — an arbitrary ``pid`` with an optional process-name row and a
+time shift.  :mod:`repro.obs.agg` builds multi-process merged traces
+on top of these two primitives, one lane per worker PID.
 """
 
 from __future__ import annotations
@@ -67,62 +74,136 @@ def to_json(collector: Optional[Collector] = None) -> Dict[str, Any]:
     }
 
 
-def to_chrome_trace(collector: Optional[Collector] = None) -> Dict[str, Any]:
-    """Chrome trace-event rendering of one recording."""
+def collector_state(collector: Optional[Collector] = None) -> Dict[str, Any]:
+    """Freeze one recording into a plain JSON/pickle-safe dict.
+
+    Timestamps stay raw ``time.perf_counter()`` readings (``t0`` is
+    included) so a later merge can shift them onto another process's
+    clock; :func:`lane_trace_events` does the relative conversion.
+    """
     c = collector or core.collector()
-    out: List[Dict[str, Any]] = [
-        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
-         "args": {"name": "repro"}},
-    ]
-    for s in sorted(c.spans, key=lambda s: s.start):
-        out.append({
-            "name": s.name,
-            "cat": s.cat,
+    return {
+        "t0": c.t0,
+        "spans": [
+            {
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "name": s.name,
+                "cat": s.cat,
+                "start": s.start,
+                "end": s.end,
+                "attrs": _jsonable(s.attrs),
+                "counters": _jsonable(s.counters),
+            }
+            for s in sorted(c.spans, key=lambda s: s.start)
+        ],
+        "events": [
+            {
+                "name": e.name,
+                "cat": e.cat,
+                "span": e.span_id,
+                "ts": e.ts,
+                "attrs": _jsonable(e.attrs),
+            }
+            for e in c.events
+        ],
+        "metrics": c.metrics.snapshot(),
+    }
+
+
+def lane_trace_events(
+    state: Dict[str, Any],
+    *,
+    pid: int = 0,
+    tid: int = 0,
+    t0: Optional[float] = None,
+    shift: float = 0.0,
+    process_name: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Chrome trace events for one :func:`collector_state`, as one lane.
+
+    ``t0`` is the zero point of the output timeline (defaults to the
+    state's own ``t0``); ``shift`` is added to every raw timestamp
+    before the conversion, which is how a merge maps a worker's clock
+    onto the driver's.  Timed events come back sorted by ``ts`` so each
+    lane is monotonic; a metadata row naming the lane is prepended when
+    ``process_name`` is given.
+    """
+    zero = state["t0"] if t0 is None else t0
+
+    def ts(t: float) -> float:
+        return _us(t + shift, zero)
+
+    timed: List[Dict[str, Any]] = []
+    for s in state["spans"]:
+        timed.append({
+            "name": s["name"],
+            "cat": s["cat"],
             "ph": "X",
-            "pid": 0,
-            "tid": 0,
-            "ts": _us(s.start, c.t0),
-            "dur": _us(s.end, s.start),
-            "args": _jsonable({**s.attrs, **s.counters}),
+            "pid": pid,
+            "tid": tid,
+            "ts": ts(s["start"]),
+            "dur": _us(s["end"], s["start"]),
+            "args": _jsonable({**s["attrs"], **s["counters"]}),
         })
         # Span counters additionally appear as counter tracks so miss
         # classes etc. render as stacked graphs in the trace viewer.
-        for k, v in s.counters.items():
-            out.append({
-                "name": f"{s.name}.{k}",
-                "cat": s.cat,
+        for k, v in s["counters"].items():
+            timed.append({
+                "name": f"{s['name']}.{k}",
+                "cat": s["cat"],
                 "ph": "C",
-                "pid": 0,
-                "tid": 0,
-                "ts": _us(s.end, c.t0),
+                "pid": pid,
+                "tid": tid,
+                "ts": ts(s["end"]),
                 "args": {k: _jsonable(v)},
             })
-    for e in c.events:
-        out.append({
-            "name": e.name,
-            "cat": e.cat,
+    for e in state["events"]:
+        timed.append({
+            "name": e["name"],
+            "cat": e["cat"],
             "ph": "i",
             "s": "t",
-            "pid": 0,
-            "tid": 0,
-            "ts": _us(e.ts, c.t0),
-            "args": _jsonable(e.attrs),
+            "pid": pid,
+            "tid": tid,
+            "ts": ts(e["ts"]),
+            "args": _jsonable(e["attrs"]),
         })
     end_ts = max(
-        [_us(s.end, c.t0) for s in c.spans]
-        + [_us(e.ts, c.t0) for e in c.events]
+        [ts(s["end"]) for s in state["spans"]]
+        + [ts(e["ts"]) for e in state["events"]]
         + [0.0]
     )
-    for name, ctr in sorted(c.metrics.counters.items()):
-        out.append({
+    for name, value in sorted(state["metrics"]["counters"].items()):
+        timed.append({
             "name": name,
             "ph": "C",
-            "pid": 0,
-            "tid": 0,
+            "pid": pid,
+            "tid": tid,
             "ts": end_ts,
-            "args": {name: _jsonable(ctr.value)},
+            "args": {name: _jsonable(value)},
         })
-    return {"traceEvents": out, "displayTimeUnit": "ms"}
+    timed.sort(key=lambda e: e["ts"])
+    out: List[Dict[str, Any]] = []
+    if process_name is not None:
+        out.append({"name": "process_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": process_name}})
+    out.extend(timed)
+    return out
+
+
+def to_chrome_trace(
+    collector: Optional[Collector] = None,
+    *,
+    pid: int = 0,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """Chrome trace-event rendering of one recording (a single lane)."""
+    c = collector or core.collector()
+    events = lane_trace_events(
+        collector_state(c), pid=pid, t0=c.t0, process_name=process_name
+    )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(

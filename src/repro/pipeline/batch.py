@@ -31,6 +31,14 @@ points):
 
 Simulation is deterministic, so the parallel path produces results
 identical to the serial one point-for-point.
+
+Telemetry (``collect_telemetry=True``): each worker records every
+point under its own fresh collector (one ``batch.point`` root span)
+and ships the frozen snapshot back inside the point's
+:class:`BatchResult`; the driver merges the snapshots into a single
+skew-corrected multi-lane trace via :mod:`repro.obs.agg` — so the runs
+that were fanned out across processes are exactly as observable as a
+serial run.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ __all__ = [
     "BatchPoint",
     "BatchResult",
     "make_grid",
+    "merged_trace",
     "run_batch",
     "run_point",
     "summarize",
@@ -112,9 +121,15 @@ class BatchResult:
     attempts: int = 1
     degraded: bool = False
     degrade_reason: str = ""
+    # Frozen obs snapshot (repro.obs.agg.snapshot) of the attempt that
+    # produced this result, when the batch collected telemetry.
+    telemetry: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         out = asdict(self)
+        # The raw telemetry snapshot is bulky and has its own exporters
+        # (repro.obs.agg); JSON result dumps carry the aggregate only.
+        out.pop("telemetry", None)
         out["point"] = asdict(self.point)
         return out
 
@@ -206,15 +221,17 @@ def _point_session(point: BatchPoint, session,
 def run_point(point: BatchPoint, session,
               degrade: bool = False) -> BatchResult:
     """Run one point with error isolation (never raises)."""
-    try:
-        return _point_session(point, session, degrade=degrade)
-    except BaseException as exc:  # isolate even SystemExit from a point
-        if isinstance(exc, KeyboardInterrupt):
-            raise
-        return BatchResult(
-            point=point, ok=False,
-            error=traceback.format_exc(limit=20),
-        )
+    with obs.span("batch.point", cat="batch", app=point.app,
+                  scheme=point.scheme, nprocs=point.nprocs):
+        try:
+            return _point_session(point, session, degrade=degrade)
+        except BaseException as exc:  # isolate even SystemExit
+            if isinstance(exc, KeyboardInterrupt):
+                raise
+            return BatchResult(
+                point=point, ok=False,
+                error=traceback.format_exc(limit=20),
+            )
 
 
 # -- worker-process plumbing -------------------------------------------------
@@ -234,7 +251,7 @@ def _make_session(disk_dir: Optional[str], cache: bool):
 
 def _worker_run(payload) -> BatchResult:
     global _worker_session, _worker_config
-    point_dict, disk_dir, cache, degrade = payload
+    point_dict, disk_dir, cache, degrade, collect = payload
     # Injected process-level faults (crash/stall) fire only here, in
     # worker processes — never in the driver.
     faults.maybe_worker_faults()
@@ -242,8 +259,22 @@ def _worker_run(payload) -> BatchResult:
     if _worker_session is None or _worker_config != config:
         _worker_session = _make_session(disk_dir, cache)
         _worker_config = config
-    return run_point(BatchPoint(**point_dict), _worker_session,
-                     degrade=degrade)
+    if not collect:
+        return run_point(BatchPoint(**point_dict), _worker_session,
+                         degrade=degrade)
+    # One fresh collector per point: the snapshot shipped back with the
+    # result then holds exactly this point's spans/events/metrics.
+    from repro.obs import agg
+
+    obs.enable(reset=True)
+    try:
+        result = run_point(BatchPoint(**point_dict), _worker_session,
+                           degrade=degrade)
+        result.telemetry = agg.snapshot()
+    finally:
+        obs.disable()
+        obs.reset()
+    return result
 
 
 # -- the driver --------------------------------------------------------------
@@ -275,6 +306,7 @@ def run_batch(
     retries: int = 0,
     backoff: float = 0.5,
     degrade: bool = True,
+    collect_telemetry: bool = False,
 ) -> List[BatchResult]:
     """Run every point; results come back in input order.
 
@@ -286,13 +318,20 @@ def run_batch(
     only; a stalled worker pool is killed and respawned).  ``retries``
     re-attempts failed points with exponential ``backoff``.
     ``degrade`` enables the BASE-scheme compile fallback per point.
+
+    ``collect_telemetry`` makes every parallel worker record its point
+    under a fresh obs collector and attach the frozen snapshot to the
+    result (``BatchResult.telemetry``) for an :mod:`repro.obs.agg`
+    merge.  The serial path records straight into the caller's own
+    collector instead (enable obs before calling), so its results carry
+    no per-point snapshots.
     """
     points = list(points)
     if jobs <= 1:
         return _run_serial(points, cache, disk_dir, retries, backoff,
                            degrade)
     return _run_parallel(points, jobs, cache, disk_dir, timeout,
-                         retries, backoff, degrade)
+                         retries, backoff, degrade, collect_telemetry)
 
 
 def _run_serial(points, cache, disk_dir, retries, backoff,
@@ -313,7 +352,8 @@ def _run_serial(points, cache, disk_dir, retries, backoff,
 
 
 def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
-                  backoff, degrade) -> List[BatchResult]:
+                  backoff, degrade,
+                  collect_telemetry=False) -> List[BatchResult]:
     """Wave-based execution: each wave gets a fresh pool for whatever
     is still pending.
 
@@ -325,7 +365,8 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
     wave completes nothing at all (then everyone is charged, which
     bounds the total number of waves even under a 100% crash rate).
     """
-    payloads = [(asdict(p), disk_dir, cache, degrade) for p in points]
+    payloads = [(asdict(p), disk_dir, cache, degrade, collect_telemetry)
+                for p in points]
     results: List[Optional[BatchResult]] = [None] * len(points)
     attempts = [0] * len(points)
     pending: List[int] = list(range(len(points)))
@@ -408,6 +449,40 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
             pool.shutdown(wait=True)
         pending = next_pending
     return [r for r in results if r is not None]
+
+
+def merged_trace(results: Sequence[BatchResult], parent=None):
+    """Merge the per-point worker snapshots into one multi-lane trace.
+
+    Each snapshot's root span (the worker's ``batch.point``) is tagged
+    with the final hardening verdict for its point — ``attempts``,
+    ``retried``, ``degraded``, ``ok`` and the count of faults injected
+    during the surviving attempt — so a chaos run reads back out of a
+    single trace file.  ``parent`` is an optional pre-frozen driver
+    snapshot (defaults to the live collector, which in serial runs
+    already holds every point's spans).
+    """
+    from repro.obs import agg
+
+    trace = agg.MergedTrace(parent=parent)
+    for r in results:
+        if r.telemetry is None:
+            continue
+        counters = r.telemetry["metrics"]["counters"]
+        faults_fired = sum(
+            v for k, v in counters.items() if k.startswith("faults.")
+        )
+        tags = {
+            "attempts": r.attempts,
+            "retried": r.attempts > 1,
+            "ok": r.ok,
+        }
+        if r.degraded:
+            tags["degraded"] = True
+        if faults_fired:
+            tags["faults_injected"] = faults_fired
+        trace.add_worker(r.telemetry, tags=tags)
+    return trace
 
 
 def summarize(results: Sequence[BatchResult]) -> Dict[str, object]:

@@ -51,6 +51,10 @@ SCHEMA_VERSION = 1
 DEFAULT_CAPACITY = 256
 ENV_DIR = "REPRO_CACHE_DIR"
 ENV_FLAG = "REPRO_CACHE"
+# The quarantine directory keeps only the newest K corrupt entries:
+# enough to post-mortem a bad run, bounded under a chaos loop that
+# corrupts entries forever.
+QUARANTINE_KEEP = 32
 
 
 def resolve_disk_dir(explicit: Optional[str] = None) -> Optional[Path]:
@@ -79,6 +83,7 @@ class CacheStats:
     disk_errors: int = 0
     corrupt: int = 0
     evictions: int = 0
+    quarantine_evicted: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -90,6 +95,7 @@ class CacheStats:
             "disk_errors": self.disk_errors,
             "corrupt": self.corrupt,
             "evictions": self.evictions,
+            "quarantine_evicted": self.quarantine_evicted,
         }
 
 
@@ -189,16 +195,36 @@ class ArtifactCache:
 
     def _quarantine(self, path: Path, key: str) -> None:
         """Move a corrupt entry out of the lookup path (best effort —
-        on failure the file is deleted; on *that* failing, ignored)."""
+        on failure the file is deleted; on *that* failing, ignored).
+        The quarantine directory is capped at :data:`QUARANTINE_KEEP`
+        newest entries so repeated corruption can't grow it forever."""
         try:
             qdir = path.parent.parent / "quarantine"
             qdir.mkdir(parents=True, exist_ok=True)
             os.replace(path, qdir / path.name)
+            self._prune_quarantine(qdir)
         except OSError:
             try:
                 os.unlink(path)
             except OSError:
                 pass
+
+    def _prune_quarantine(self, qdir: Path) -> None:
+        try:
+            entries = sorted(
+                (p for p in qdir.iterdir() if p.is_file()),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return
+        for stale in entries[QUARANTINE_KEEP:]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                continue
+            self.stats.quarantine_evicted += 1
+            obs.inc("cache.quarantine.evicted")
 
     def _disk_put(self, key: str, value: Any) -> None:
         if self.disk_dir is None:

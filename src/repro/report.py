@@ -128,6 +128,85 @@ def format_profile_table(result) -> str:
     return "\n".join(lines)
 
 
+def _fmt_value(v) -> str:
+    """Compact cell rendering for bench/regression tables."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    if isinstance(v, dict):
+        return ",".join(f"{k}={_fmt_value(x)}" for k, x in sorted(v.items()))
+    return str(v)
+
+
+def format_bench_table(snapshot: Mapping) -> str:
+    """Per-point summary of one perf-harness snapshot
+    (:func:`repro.obs.bench.run_bench`)."""
+    cfg = snapshot["config"]
+    lines = [
+        f"bench: n={cfg['n']} scale={cfg['scale']} "
+        f"repeats={cfg['repeats']} ({snapshot['created']})"
+    ]
+    header = (
+        f"{'app':12s} {'scheme':6s} {'P':>3s} {'compile':>9s} "
+        f"{'wall min':>10s} {'wall p50':>10s} {'wall max':>10s} "
+        f"{'sim time':>11s} {'accesses':>9s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in snapshot["points"]:
+        w = p["wall"]
+        lines.append(
+            f"{p['app']:12s} {p['scheme']:6s} {p['nprocs']:3d} "
+            f"{p['compile_s']:9.4f} {w['min']:10.5f} {w['p50']:10.5f} "
+            f"{w['max']:10.5f} {p['sim']['total_time']:11.4e} "
+            f"{p['sim']['n_accesses']:9d}"
+        )
+    return "\n".join(lines)
+
+
+def format_regression_table(comparison, title: str = "bench comparison",
+                            show_ok: bool = False) -> str:
+    """Per-metric verdict of one baseline-vs-current comparison
+    (:func:`repro.obs.bench.compare_snapshots`).
+
+    Failing rows (regressed wall time, drifted simulated counters,
+    vanished points, incomparable snapshots) always print; ``show_ok``
+    adds the passing rows too.
+    """
+    rows = [r for r in comparison.rows
+            if show_ok or r.status not in ("ok",)]
+    lines = [title]
+    header = (
+        f"{'point':22s} {'metric':28s} {'baseline':>14s} "
+        f"{'current':>14s} {'delta':>9s}  status"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not rows:
+        lines.append("(all metrics within thresholds)")
+    for r in rows:
+        if isinstance(r.baseline, (int, float)) and \
+                isinstance(r.current, (int, float)) and \
+                not isinstance(r.baseline, bool) and r.baseline:
+            delta = f"{(r.current - r.baseline) / r.baseline:+.1%}"
+        else:
+            delta = "-"
+        status = r.status + (f" ({r.note})" if r.note else "")
+        lines.append(
+            f"{r.point:22s} {r.metric:28s} {_fmt_value(r.baseline):>14s} "
+            f"{_fmt_value(r.current):>14s} {delta:>9s}  {status}"
+        )
+    n_fail = len(comparison.regressions)
+    gate = "on" if comparison.wall_gated else "off (different host)"
+    lines.append(
+        f"verdict: {'OK' if comparison.ok else 'REGRESSED'} "
+        f"({n_fail} failing metric{'s' if n_fail != 1 else ''}; "
+        f"wall gate {gate}, tol {comparison.wall_tol:.0%})"
+    )
+    return "\n".join(lines)
+
+
 def markdown_speedup_table(curves: Mapping[str, Series]) -> str:
     """The same data as a Markdown table (for EXPERIMENTS.md)."""
     procs = [p for p, _ in next(iter(curves.values()))]

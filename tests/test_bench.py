@@ -1,0 +1,266 @@
+"""Persistent perf-regression harness (PR-4): snapshot shape,
+persistence + pointer files, and the noise-aware comparison gate.
+
+The gate's contract: identical snapshots pass; any drift in a
+deterministic simulated counter fails (exact match); wall time fails
+only beyond the relative tolerance and only on the same host.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.obs import bench
+from repro.obs.bench import (
+    compare_snapshots,
+    load_snapshot,
+    run_bench,
+    save_snapshot,
+)
+from repro.pipeline import reset_session
+from repro.report import format_bench_table, format_regression_table
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    obs.reset()
+    reset_session()
+    yield
+    obs.disable()
+    obs.reset()
+    reset_session()
+
+
+@pytest.fixture(scope="module")
+def snap():
+    """One tiny grid, shared by the read-only tests (deep-copy before
+    mutating)."""
+    return run_bench(apps=["simple"], schemes=["base", "comp"],
+                     procs=[1, 2], n=8, repeats=2)
+
+
+class TestRunBench:
+    def test_snapshot_shape(self, snap):
+        assert snap["schema"] == bench.SCHEMA_VERSION
+        assert set(snap["host"]) == {"platform", "machine", "python",
+                                     "node"}
+        assert snap["config"]["apps"] == ["simple"]
+        assert snap["config"]["schemes"] == ["base", "comp"]
+        assert len(snap["points"]) == 4
+        for p in snap["points"]:
+            assert p["wall"]["repeats"] == 2
+            assert len(p["wall"]["samples"]) == 2
+            assert p["wall"]["min"] <= p["wall"]["p50"] <= p["wall"]["max"]
+            assert p["sim"]["total_time"] > 0
+            assert p["sim"]["n_accesses"] > 0
+            assert "misses" in p["sim"]
+            assert "numa" in p["sim"] and "conflict" in p["sim"]
+
+    def test_addressing_counters_recorded(self, snap):
+        # The optimized emitter's strength reduction fires somewhere in
+        # the grid; its counters are part of the tracked surface.
+        assert any(p["sim"]["addressing"] for p in snap["points"])
+
+    def test_deterministic_sim_metrics(self, snap):
+        again = run_bench(apps=["simple"], schemes=["base", "comp"],
+                          procs=[1, 2], n=8, repeats=1)
+        for a, b in zip(snap["points"], again["points"]):
+            assert a["sim"] == b["sim"]
+
+    def test_snapshot_is_json_safe(self, snap):
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_obs_state_restored(self):
+        obs.enable(reset=True)
+        keep = obs.collector()
+        run_bench(apps=["simple"], schemes=["base"], procs=[1], n=8,
+                  repeats=1)
+        assert obs.enabled()
+        assert obs.collector() is keep
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_bench(apps=["simple"], schemes=["base"], procs=[1],
+                      repeats=0)
+
+
+class TestPersistence:
+    def test_save_and_load_via_pointer(self, snap, tmp_path):
+        out = tmp_path / "bench"
+        latest = tmp_path / "BENCH_latest.json"
+        path, lpath = save_snapshot(snap, out_dir=out, latest=latest)
+        assert json.load(open(lpath))["pointer"] == path
+        assert load_snapshot(path) == snap
+        assert load_snapshot(latest) == snap
+
+    def test_relative_pointer_resolves_against_pointer_dir(self, snap,
+                                                           tmp_path):
+        out = tmp_path / "bench"
+        path, _ = save_snapshot(snap, out_dir=out, latest=None)
+        pointer = out / "latest.json"
+        name = path.rsplit("/", 1)[-1]
+        pointer.write_text(json.dumps({"schema": 1, "pointer": name}))
+        assert load_snapshot(pointer) == snap
+
+    def test_collision_gets_serial_suffix(self, snap, tmp_path):
+        out = tmp_path / "bench"
+        p1, _ = save_snapshot(snap, out_dir=out, latest=None)
+        p2, _ = save_snapshot(snap, out_dir=out, latest=None)
+        assert p1 != p2 and p2.endswith("-1.json")
+
+    def test_pointer_cycle_bounded(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"pointer": str(b)}))
+        b.write_text(json.dumps({"pointer": str(a)}))
+        with pytest.raises(ValueError, match="pointer chain"):
+            load_snapshot(a)
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self, snap):
+        cmp = compare_snapshots(snap, copy.deepcopy(snap))
+        assert cmp.ok
+        assert cmp.wall_gated
+        table = format_regression_table(cmp)
+        assert "verdict: OK" in table
+
+    def test_perturbed_sim_counter_fails_exactly(self, snap):
+        cur = copy.deepcopy(snap)
+        cur["points"][0]["sim"]["n_accesses"] += 1
+        cmp = compare_snapshots(snap, cur)
+        assert not cmp.ok
+        bad = cmp.regressions
+        assert [r.metric for r in bad] == ["sim.n_accesses"]
+        assert bad[0].status == "changed"
+        table = format_regression_table(cmp)
+        assert "sim.n_accesses" in table and "REGRESSED" in table
+
+    def test_wall_regression_same_host(self, snap):
+        cur = copy.deepcopy(snap)
+        for p in cur["points"]:
+            p["wall"]["min"] = p["wall"]["min"] + 1.0  # way past both gates
+        cmp = compare_snapshots(snap, cur, wall_tol=0.30)
+        assert not cmp.ok
+        assert all(r.metric == "wall.min" and r.status == "regressed"
+                   for r in cmp.regressions)
+
+    def test_wall_within_tolerance_passes(self, snap):
+        cur = copy.deepcopy(snap)
+        for p in cur["points"]:
+            p["wall"]["min"] = p["wall"]["min"] * 1.1
+        assert compare_snapshots(snap, cur, wall_tol=0.30).ok
+
+    def test_sub_floor_jitter_never_regresses(self, snap):
+        # Huge relative swing on a tiny measurement stays under the
+        # absolute floor and must not trip the gate.
+        base = copy.deepcopy(snap)
+        cur = copy.deepcopy(snap)
+        for bp, cp in zip(base["points"], cur["points"]):
+            bp["wall"]["min"] = 0.001
+            cp["wall"]["min"] = 0.003  # +200% relative, +2ms absolute
+        assert compare_snapshots(base, cur, wall_tol=0.30,
+                                 wall_abs_floor=0.010).ok
+        assert not compare_snapshots(base, cur, wall_tol=0.30,
+                                     wall_abs_floor=0.0).ok
+
+    def test_different_host_skips_wall_gate(self, snap):
+        cur = copy.deepcopy(snap)
+        cur["host"] = dict(cur["host"], node="elsewhere")
+        for p in cur["points"]:
+            p["wall"]["min"] = p["wall"]["min"] * 100.0
+        cmp = compare_snapshots(snap, cur)
+        assert cmp.ok and not cmp.wall_gated
+        assert any(r.status == "skipped" for r in cmp.rows)
+        assert "wall gate off" in format_regression_table(cmp)
+
+    def test_vanished_point_fails(self, snap):
+        cur = copy.deepcopy(snap)
+        cur["points"] = cur["points"][1:]
+        cmp = compare_snapshots(snap, cur)
+        assert not cmp.ok
+        assert cmp.regressions[0].status == "missing"
+
+    def test_new_point_reported_not_failing(self, snap):
+        base = copy.deepcopy(snap)
+        base["points"] = base["points"][1:]
+        cmp = compare_snapshots(base, snap)
+        assert cmp.ok
+        assert any(r.status == "new" for r in cmp.rows)
+
+    def test_config_mismatch_incomparable(self, snap):
+        cur = copy.deepcopy(snap)
+        cur["config"] = dict(cur["config"], n=99)
+        cmp = compare_snapshots(snap, cur)
+        assert not cmp.ok
+        assert cmp.rows[0].status == "incomparable"
+
+    def test_schema_mismatch_incomparable(self, snap):
+        cur = copy.deepcopy(snap)
+        cur["schema"] = 99
+        cmp = compare_snapshots(snap, cur)
+        assert not cmp.ok and cmp.rows[0].metric == "schema"
+
+
+class TestBenchTable:
+    def test_format_bench_table(self, snap):
+        table = format_bench_table(snap)
+        assert "simple" in table
+        assert "wall min" in table and "sim time" in table
+        assert len(table.splitlines()) == 3 + len(snap["points"])
+
+
+class TestBenchCLI:
+    def _run(self, tmp_path, *extra):
+        argv = ["bench", "--apps", "simple", "--schemes", "base",
+                "--procs-list", "1", "--n", "8", "--repeats", "2",
+                "--out-dir", str(tmp_path / "bench"),
+                "--latest", str(tmp_path / "BENCH_latest.json")]
+        return main(argv + list(extra))
+
+    def test_two_runs_then_compare_pass(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        assert self._run(tmp_path) == 0
+        rc = self._run(tmp_path, "--compare",
+                       str(tmp_path / "BENCH_latest.json"))
+        assert rc == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_compare_perturbed_baseline_exits_nonzero(self, tmp_path,
+                                                      capsys):
+        assert self._run(tmp_path) == 0
+        latest = tmp_path / "BENCH_latest.json"
+        baseline = load_snapshot(latest)
+        baseline["points"][0]["sim"]["total_time"] += 1.0
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(baseline))
+        rc = self._run(tmp_path, "--compare", str(doctored))
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "sim.total_time" in out and "REGRESSED" in out
+
+    def test_compare_resolves_baseline_before_save(self, tmp_path):
+        # --compare against the pointer must mean the *previous* run.
+        assert self._run(tmp_path) == 0
+        first = json.load(open(tmp_path / "BENCH_latest.json"))["pointer"]
+        assert self._run(tmp_path, "--compare",
+                         str(tmp_path / "BENCH_latest.json")) == 0
+        second = json.load(open(tmp_path / "BENCH_latest.json"))["pointer"]
+        assert first != second  # pointer moved, gate used the old one
+
+    def test_no_save_writes_nothing(self, tmp_path):
+        assert self._run(tmp_path, "--no-save") == 0
+        assert not (tmp_path / "bench").exists()
+        assert not (tmp_path / "BENCH_latest.json").exists()
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load baseline"):
+            self._run(tmp_path, "--compare", str(tmp_path / "nope.json"))
+
+    def test_unknown_app_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["bench", "--apps", "bogus", "--no-save"])

@@ -112,6 +112,24 @@ class TestCacheQuarantine:
         assert fresh.stats.corrupt == 1
         assert not path.exists()
 
+    def test_quarantine_dir_is_capped(self, tmp_path, monkeypatch):
+        from repro.pipeline import cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "QUARANTINE_KEEP", 3)
+        obs.enable(reset=True)
+        cache = ArtifactCache(disk_dir=tmp_path)
+        for i in range(8):
+            key = f"badc0de{i:02d}"
+            cache.put(key, {"i": i})
+            cache._disk_path(key).write_bytes(b"garbage")
+            fresh = ArtifactCache(disk_dir=tmp_path)
+            assert fresh.get(key) is MISS
+        qdir = cache._disk_path("badc0de00").parent.parent / "quarantine"
+        kept = [p for p in qdir.iterdir() if p.is_file()]
+        assert len(kept) <= 3  # newest K survive a corruption storm
+        counters = obs.collector().metrics.snapshot()["counters"]
+        assert counters["cache.quarantine.evicted"] == 5
+
     def test_injected_write_fault_stays_memory_only(self, tmp_path):
         faults.configure("seed=1,cache.write=1.0")
         cache = ArtifactCache(disk_dir=tmp_path)
