@@ -291,6 +291,16 @@ def cmd_profile(args) -> int:
     print(summary())
     print()
     print(format_profile_table(res))
+    if args.json:
+        from repro.report import profile_as_dict
+
+        text = json.dumps(profile_as_dict(res), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(f"\nwrote profile JSON to {args.json}")
     if args.output:
         if args.format == "chrome":
             write_chrome_trace(args.output)
@@ -573,7 +583,66 @@ def cmd_bench(args) -> int:
         ))
         if not cmp.ok:
             rc = 1
+            # Name the culprit: attribute the regression to the first
+            # diverging compiler decision between baseline and this run.
+            try:
+                from repro.obs import provenance
+                from repro.report import format_diff_table
+
+                print()
+                print(format_diff_table(
+                    provenance.diff_runs(baseline, snap),
+                    title="root-cause diff vs baseline",
+                ))
+            except Exception as exc:  # never mask the regression exit
+                print(f"(root-cause diff unavailable: {exc})")
     return rc
+
+
+def cmd_explain(args) -> int:
+    """``python -m repro explain``: the decision-provenance tree for
+    one compiled grid point."""
+    from repro.obs import provenance
+    from repro.report import format_explain_tree
+
+    session = _apply_session_args(args)
+    try:
+        scheme = parse_scheme(args.scheme)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    prog = _build(args.app, args.n, args.time_steps)
+    label = f"{args.app}/{scheme.value}/P{args.procs}"
+    try:
+        _, log = provenance.collect_point(session, prog, scheme,
+                                          args.procs)
+    except Exception as exc:
+        raise SystemExit(f"explain: cannot compile {label}: {exc}")
+    if args.json:
+        print(log.to_json(app=args.app, scheme=scheme.value,
+                          nprocs=args.procs, n=args.n))
+    else:
+        print(format_explain_tree(log, title=label))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """``python -m repro diff``: root-cause diff of two run files."""
+    from repro.obs import provenance
+    from repro.report import format_diff_table
+
+    try:
+        run_a = provenance.load_run(args.run_a)
+        run_b = provenance.load_run(args.run_b)
+    except (OSError, ValueError) as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    diff = provenance.diff_runs(run_a, run_b)
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_diff_table(
+            diff, title=f"{args.run_a} vs {args.run_b}"))
+    return 1 if diff.significant else 0
 
 
 def main(argv=None) -> int:
@@ -633,6 +702,9 @@ def main(argv=None) -> int:
                    help="trace output path (Chrome trace-event JSON)")
     p.add_argument("--format", choices=["chrome", "json"], default="chrome",
                    help="output format: Chrome trace events or full dump")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the profile result (phases, arrays, "
+                        "NUMA, conflicts) as JSON; '-' for stdout")
     _add_cache_flags(p)
 
     p = sub.add_parser(
@@ -735,6 +807,32 @@ def main(argv=None) -> int:
     p.add_argument("--show-ok", action="store_true",
                    help="include passing rows in the comparison table")
 
+    p = sub.add_parser(
+        "explain",
+        help="show every compiler decision (with alternatives and "
+             "reasons) behind one compiled point",
+    )
+    p.add_argument("app")
+    p.add_argument("--scheme", default="opt",
+                   help="scheme name or alias, case-insensitive "
+                        "(e.g. OPT, base, comp, data)")
+    p.add_argument("--procs", type=_positive_int, default=8)
+    p.add_argument("--n", type=_positive_int, default=32)
+    p.add_argument("--time-steps", type=_positive_int, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit the decision log as JSON instead of a tree")
+    _add_cache_flags(p)
+
+    p = sub.add_parser(
+        "diff",
+        help="root-cause diff of two runs (bench snapshots or "
+             "'batch --json' files); exits 1 when counters diverge",
+    )
+    p.add_argument("run_a", help="baseline run file")
+    p.add_argument("run_b", help="candidate run file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured diff as JSON")
+
     args = parser.parse_args(argv)
     return {
         "list": cmd_list,
@@ -745,6 +843,8 @@ def main(argv=None) -> int:
         "verify": cmd_verify,
         "batch": cmd_batch,
         "bench": cmd_bench,
+        "explain": cmd_explain,
+        "diff": cmd_diff,
     }[args.command](args)
 
 

@@ -29,6 +29,7 @@ from itertools import permutations
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import provenance
 from repro.analysis.dependence import Dependence, analyze_nest
 from repro.analysis.parallelism import parallel_levels
 from repro.ir.loops import LoopNest
@@ -48,6 +49,10 @@ class UnimodularResult:
     transform: List[List[int]]  # rows = new loops in terms of old indices
     parallel: Tuple[int, ...]  # parallel levels of the (new) nest
     deps: List[Dependence]  # dependences of the (new) nest
+    # Provenance payload describing the keep/permute decision; stored on
+    # the (memoized) result so the record is re-emitted identically on
+    # every lookup, not only on the first derivation.
+    decision: Optional[dict] = None
 
     @property
     def outer_parallel_count(self) -> int:
@@ -248,9 +253,17 @@ def expose_outer_parallelism(
         except Exception:  # pragma: no cover
             pass
     if memo_key in memo:
-        return memo[memo_key]
-    result = _expose_impl(nest, params)
-    memo[memo_key] = result
+        result = memo[memo_key]
+    else:
+        result = _expose_impl(nest, params)
+        memo[memo_key] = result
+    if result.decision:
+        d = result.decision
+        provenance.record(
+            d["site"], stage=d["stage"], subject=d["subject"],
+            chosen=d["chosen"], alternatives=d["alternatives"],
+            reason=d["reason"], **d["inputs"],
+        )
     return result
 
 
@@ -269,6 +282,12 @@ def _expose_impl(
             transform=ident,
             parallel=parallel_levels(nest, deps),
             deps=deps,
+            decision={
+                "site": "unimodular.restructure", "stage": "unimodular",
+                "subject": nest.name, "chosen": "keep",
+                "alternatives": ["keep", "permute"], "reason": reason,
+                "inputs": {"depth": depth, "n_deps": len(deps)},
+            },
         )
 
     # Imperfect nests: keep in place (BASE analyzes one loop at a time).
@@ -312,4 +331,14 @@ def _expose_impl(
         transform=transform,
         parallel=parallel_levels(new_nest, new_deps),
         deps=new_deps,
+        decision={
+            "site": "unimodular.restructure", "stage": "unimodular",
+            "subject": nest.name, "chosen": f"permute{list(perm)}",
+            "alternatives": ["keep", f"permute{list(perm)}"],
+            "reason": "legal outermost-parallel permutation",
+            "inputs": {
+                "depth": depth, "n_deps": len(deps),
+                "parallel_band": len(head), "transform": transform,
+            },
+        },
     )

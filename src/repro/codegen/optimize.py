@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro import obs
+from repro.obs import provenance
 from repro.codegen.addrexpr import (
     AAffine,
     ADiv,
@@ -159,6 +160,25 @@ def optimize_ref_address(
                          if period < trips else 0.0,
                          per_entry=1,
                          detail=f"strength-reduced, carry period {period}")
+            )
+    if provenance.active():
+        _AFTER = {
+            "invariant": "hoisted to loop preamble",
+            "peel": "boundary iterations peeled, remainder hoisted",
+            "strength": "running value with subtract-and-carry",
+            "none": "unchanged",
+        }
+        for i, p in enumerate(report.plans):
+            before = getattr(p.node, "to_c", lambda: repr(p.node))()
+            provenance.record(
+                "addropt.plan", stage="addropt",
+                subject=f"{var}[{i}] {before}",
+                chosen=p.strategy,
+                alternatives=["invariant", "peel", "strength", "none"],
+                reason=p.detail,
+                before=before, after=_AFTER.get(p.strategy, p.strategy),
+                per_iter=p.per_iter, per_entry=p.per_entry,
+                ops_saved_per_iter=1.0 - p.per_iter,
             )
     if obs.enabled():
         # "invariant" covers the paper's div/mod hoisting; "peel" and

@@ -29,6 +29,7 @@ from enum import Enum
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import provenance
 from repro.analysis.unimodular import expose_outer_parallelism
 from repro.datatrans.transform import (
     TransformedArray,
@@ -63,6 +64,8 @@ SCHEME_ALIASES.update(SCHEME_NAMES)
 SCHEME_ALIASES.update({
     "comp_decomp": Scheme.COMP_DECOMP,
     "comp_decomp_data": Scheme.COMP_DECOMP_DATA,
+    # The paper's fully-optimized configuration (Section 6 "OPT").
+    "opt": Scheme.COMP_DECOMP_DATA,
     Scheme.BASE.value: Scheme.BASE,
     Scheme.COMP_DECOMP.value: Scheme.COMP_DECOMP,
     Scheme.COMP_DECOMP_DATA.value: Scheme.COMP_DECOMP_DATA,
@@ -277,7 +280,13 @@ def derive_program_layout(
                 restructure=restructure,
                 line_pad_elements=line_pad_elements,
             )
-        except ValueError:
+        except ValueError as exc:
+            provenance.record(
+                "datatrans.legality", stage="layout", subject=name,
+                chosen="identity",
+                alternatives=["strip-mine+permute", "identity"],
+                reason="legality rejection", error=str(exc),
+            )
             transformed[name] = identity_transform(decl)
     return transformed
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.datatrans.layout import DimAtom, Layout
+from repro.obs import provenance
 
 
 def strip_mine(layout: Layout, atom_index: int, strip: int) -> Layout:
@@ -35,10 +36,24 @@ def strip_mine(layout: Layout, atom_index: int, strip: int) -> Layout:
     atoms = list(layout.atoms)
     a = atoms[atom_index]
     if a.mod is not None and a.mod % strip != 0:
+        provenance.record(
+            "datatrans.primitives", stage="layout",
+            subject=f"atom{atom_index}", chosen="reject",
+            alternatives=["strip-mine", "reject"],
+            reason="legality rejection",
+            detail=f"strip {strip} does not divide modulus {a.mod}",
+        )
         raise ValueError(
             f"cannot strip-mine atom {a!r} by {strip}: strip must divide "
             "the existing modulus"
         )
+    provenance.record(
+        "datatrans.primitives", stage="layout",
+        subject=f"atom{atom_index}", chosen=f"strip-mine by {strip}",
+        alternatives=["strip-mine", "keep"],
+        reason="strip factor from fold kind and grid extent",
+        extent=a.extent, strip=strip,
+    )
     outer_extent = -(-a.extent // strip)  # ceil
     inner = DimAtom(src=a.src, extent=strip, div=a.div, mod=strip)
     if a.mod is None:
@@ -58,7 +73,19 @@ def permute(layout: Layout, order: Sequence[int]) -> Layout:
     """Reorder dimensions: ``order[k]`` is the current position of the
     atom that becomes the new k-th (fastest-varying) dimension."""
     if sorted(order) != list(range(layout.rank)):
+        provenance.record(
+            "datatrans.primitives", stage="layout", subject="permute",
+            chosen="reject", alternatives=["permute", "reject"],
+            reason="legality rejection",
+            detail=f"{order!r} is not a permutation of rank {layout.rank}",
+        )
         raise ValueError(f"{order!r} is not a permutation of the dimensions")
+    provenance.record(
+        "datatrans.primitives", stage="layout", subject="permute",
+        chosen=f"order {list(order)}",
+        alternatives=["identity order", f"order {list(order)}"],
+        reason="processor dims moved rightmost",
+    )
     return Layout(
         orig_dims=layout.orig_dims,
         atoms=tuple(layout.atoms[p] for p in order),

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import provenance
 from repro.datatrans.layout import DimAtom, Layout
 from repro.decomp.model import DataDecomp, Folding, FoldKind
 from repro.ir.arrays import ArrayDecl
@@ -115,6 +116,38 @@ def derive_layout(
     out = _derive_impl(
         decl, decomp, foldings, grid, restructure, line_pad_elements
     )
+    if provenance.active():
+        if decomp is None or not decomp.matrix:
+            chosen, reason = "identity", "undistributed"
+        elif decomp.replicated:
+            chosen, reason = "identity", "replicated"
+        elif not restructure:
+            chosen, reason = "identity", "comp-decomp only"
+        elif out.restructured:
+            chosen, reason = "strip-mine+permute", "strip-mine + permute"
+        elif all(
+            (grid[p] if p < len(grid) else 1) <= 1
+            for p, _ in decomp.distributed_dims()
+        ):
+            chosen, reason = "identity", "single processor along mapped dims"
+        else:
+            chosen, reason = "identity", "local optimization"
+        provenance.record(
+            "datatrans.layout", stage="layout", subject=decl.name,
+            chosen=chosen, alternatives=["identity", "strip-mine+permute"],
+            reason=reason, grid=list(grid), dims=list(decl.dims),
+            atoms=[
+                f"x{a.src}//{a.div}"
+                + (f"%{a.mod}" if a.mod is not None else "")
+                + f":{a.extent}"
+                for a in out.layout.atoms
+            ],
+            strips=[
+                f"dim{s.src}->P{s.proc_dim} div={s.div} mod={s.mod}"
+                for s in out.owner_specs
+            ],
+            line_pad_elements=line_pad_elements,
+        )
     if obs.enabled():
         obs.event(
             "datatrans.layout", cat="datatrans", array=decl.name,

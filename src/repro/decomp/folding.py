@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import provenance
 from repro.decomp.model import Decomposition, Folding, FoldKind
 from repro.ir.loops import LoopNest
 from repro.ir.program import Program
@@ -46,6 +47,7 @@ def choose_folding(
     foldings: List[Folding] = []
     for p in range(rank):
         kind = FoldKind.BLOCK
+        triggers: List[str] = []
         for nest in prog.nests:
             tri = _triangular_levels(nest)
             for s in range(len(nest.body)):
@@ -55,6 +57,7 @@ def choose_folding(
                 row = cd.matrix[p]
                 mapped_levels = {k for k, c in enumerate(row) if c != 0}
                 if mapped_levels & tri:
+                    triggers.append(nest.name)
                     if prefer_block_cyclic and decomp.is_pipelined(nest.name):
                         kind = FoldKind.BLOCK_CYCLIC
                     else:
@@ -63,6 +66,19 @@ def choose_folding(
             foldings.append(Folding(kind, block_cyclic_block))
         else:
             foldings.append(Folding(kind))
+        if kind is FoldKind.BLOCK_CYCLIC:
+            reason = "pipelined nest prefers block-cyclic"
+        elif kind is FoldKind.CYCLIC:
+            reason = "triangular bounds couple mapped levels"
+        else:
+            reason = "default block"
+        provenance.record(
+            "decomp.folding", stage="folding", subject=f"dim{p}",
+            chosen=kind.value,
+            alternatives=[k.value for k in FoldKind],
+            reason=reason, nprocs=nprocs,
+            triggers=sorted(set(triggers)),
+        )
         obs.event("decomp.folding", cat="decomp", dim=p, kind=kind.value)
         obs.inc(f"folding.{kind.value}")
     return foldings

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro import obs
+from repro.obs import provenance
 from repro.analysis.dependence import Dependence, analyze_nest
 from repro.analysis.unimodular import _obstruction_rows
 from repro.decomp.folding import choose_folding
@@ -194,7 +195,9 @@ def _decompose_impl(
     for k in order:
         info = infos[k]
         accepted = False
+        rungs_tried: List[str] = []
         for do_replicate, use_reads, use_parallel, label in LADDER:
+            rungs_tried.append(label)
             trial_repl = set(replicated)
             if do_replicate:
                 nest_read_only = {
@@ -221,6 +224,16 @@ def _decompose_impl(
                     pipelined=info.nest.name in pipelined,
                 )
                 obs.inc(f"decomp.rung.{label}")
+                provenance.record(
+                    "decomp.ladder", stage="decomposition",
+                    subject=info.nest.name, chosen=label,
+                    alternatives=[l for *_cfg, l in LADDER],
+                    reason="first rung preserving parallelism",
+                    weight=info.weight, rungs_tried=rungs_tried,
+                    min_rank=min(ranks.values()),
+                    replicated=sorted(trial_repl),
+                    pipelined=info.nest.name in pipelined,
+                )
                 accepted = True
                 break
         if not accepted:
@@ -232,6 +245,13 @@ def _decompose_impl(
             obs.event("decomp.excluded", cat="decomp", nest=info.nest.name,
                       weight=info.weight)
             obs.inc("decomp.rung.excluded")
+            provenance.record(
+                "decomp.ladder", stage="decomposition",
+                subject=info.nest.name, chosen="excluded",
+                alternatives=[l for *_cfg, l in LADDER] + ["excluded"],
+                reason="no rung preserves parallelism",
+                weight=info.weight, rungs_tried=rungs_tried,
+            )
 
     solution = solve_group(included, array_ranks, replicated, max_dims=max_dims)
 

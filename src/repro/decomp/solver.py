@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
+from repro.obs import provenance
 from repro.util.intlinalg import (
     integer_nullspace,
     integer_rank,
@@ -393,6 +394,7 @@ def _solve_connected(
                 g += e.weight
         return g
 
+    component = "+".join(layout.array_names) or "(replicated-only)"
     while len(selected) < max_dims:
         base_locality = _locality_score(layout, selected)
         min_rank = (
@@ -408,9 +410,16 @@ def _solve_connected(
             and min_rank >= 1
             and not _has_boundary_comm(layout, selected)
         ):
+            provenance.record(
+                "decomp.solver", stage="decomposition", subject=component,
+                chosen="stop", alternatives=["add dimension", "stop"],
+                reason="communication-free stays 1-D",
+                rank=len(selected), max_dims=max_dims,
+            )
             break
         best = None
         best_key = None
+        candidates = 0
         for row in basis:
             if integer_rank(selected + [list(row)]) <= len(selected):
                 continue  # dependent joint row
@@ -425,15 +434,39 @@ def _solve_connected(
             # parallelism always wins over locality.)
             if min_rank >= 1 and locality < base_locality:
                 continue
+            candidates += 1
             key = (g, locality, _dim_preference(layout, row))
             if best_key is None or key > best_key:
                 best, best_key = list(row), key
         if best is None:
+            if basis:
+                provenance.record(
+                    "decomp.solver", stage="decomposition", subject=component,
+                    chosen="stop", alternatives=["add dimension", "stop"],
+                    reason="no candidate row",
+                    rank=len(selected), basis=len(basis), max_dims=max_dims,
+                )
             break
+        provenance.record(
+            "decomp.solver", stage="decomposition", subject=component,
+            chosen=f"row {best}",
+            alternatives=[str(list(r)) for r in basis[:6]],
+            reason="max (gain, locality, dim-preference)",
+            dim=len(selected), gain=best_key[0], locality=best_key[1],
+            dim_preference=best_key[2], candidates=candidates,
+            basis=len(basis),
+        )
         selected.append(best)
         for e in entries:
             c_lo, c_hi = layout.c_slice(e)
             sel_c[(e.nest, e.stmt)].append(list(best[c_lo:c_hi]))
+    else:
+        provenance.record(
+            "decomp.solver", stage="decomposition", subject=component,
+            chosen="stop", alternatives=["add dimension", "stop"],
+            reason="max_dims reached",
+            rank=len(selected), max_dims=max_dims,
+        )
 
     data_matrices: Dict[str, Matrix] = {}
     for a in layout.array_names:

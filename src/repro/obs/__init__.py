@@ -27,6 +27,7 @@ from repro.obs.core import (
     Span,
     collector,
     counter,
+    current_span_id,
     disable,
     enable,
     enabled,
@@ -36,6 +37,11 @@ from repro.obs.core import (
     inc,
     reset,
     span,
+)
+from repro.obs.provenance import (
+    ArtifactEnvelope,
+    DecisionRecord,
+    ProvenanceLog,
 )
 from repro.obs.metrics import (
     NOOP_METRIC,
@@ -65,8 +71,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "ArtifactEnvelope",
+    "DecisionRecord",
+    "ProvenanceLog",
     "collector",
     "counter",
+    "current_span_id",
     "disable",
     "enable",
     "enabled",

@@ -151,7 +151,10 @@ class MergedTrace:
                 )
             )
         for pid in lanes:
-            lanes[pid].sort(key=lambda e: e["ts"])
+            # (ts, name) tie-break: same-timestamp events (counter
+            # flushes) otherwise land in hash order, making the merged
+            # trace unstable across runs with identical recordings.
+            lanes[pid].sort(key=lambda e: (e["ts"], e["name"]))
             out.extend(lanes[pid])
         return {"traceEvents": out, "displayTimeUnit": "ms"}
 
@@ -199,8 +202,14 @@ class MergedTrace:
                         agg[key] = (h[key] if agg[key] is None
                                     else pick(agg[key], h[key]))
                 agg["lanes"][label] = h
-        return {"counters": counters, "gauges": gauges,
-                "histograms": hists}
+
+        def by_name(d: Dict[str, Any]) -> Dict[str, Any]:
+            return {k: d[k] for k in sorted(d)}
+
+        # Name-sorted output so serialized aggregates are byte-stable
+        # regardless of which lane registered a metric first.
+        return {"counters": by_name(counters), "gauges": by_name(gauges),
+                "histograms": by_name(hists)}
 
     def counter_total(self, name: str) -> float:
         """Sum of one counter across every lane (0 when absent)."""

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.obs import core as _obs_core
+from repro.obs import provenance
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -119,7 +120,10 @@ def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
     t0 = time.perf_counter()
     spmd = session.compile(prog, scheme, nprocs)
     compile_s = time.perf_counter() - t0
-    emit_optimized_program(spmd)
+    prov = session.last_provenance.copy()
+    with provenance.capture() as addr_records:
+        emit_optimized_program(spmd)
+    prov.extend(addr_records)
     counters = obs.collector().metrics.snapshot()["counters"]
     addressing = {
         name.split(".", 1)[1]: value
@@ -171,6 +175,10 @@ def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
             "max": max(samples),
         },
         "sim": sim,
+        # Decision provenance rides along for `repro diff` root-cause
+        # attribution; compare_snapshots only reads "sim"/"wall", so
+        # this key never affects the regression gate.
+        "provenance": [r.as_dict() for r in prov],
     }
 
 

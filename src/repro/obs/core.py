@@ -187,6 +187,16 @@ def span(name: str, cat: str = "compiler", **attrs):
     return _collector.span(name, cat, **attrs)
 
 
+def current_span_id():
+    """Id of the innermost open span, or ``None`` when tracing is off or
+    no span is open.  Used by provenance records to anchor decisions to
+    the pass span that produced them."""
+    if not _enabled:
+        return None
+    stack = _collector._stack
+    return stack[-1].span_id if stack else None
+
+
 def event(name: str, cat: str = "event", **attrs) -> None:
     """Record an instant structured event (dropped when disabled)."""
     if not _enabled:

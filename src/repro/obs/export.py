@@ -144,7 +144,9 @@ def lane_trace_events(
             "tid": tid,
             "ts": ts(s["start"]),
             "dur": _us(s["end"], s["start"]),
-            "args": _jsonable({**s["attrs"], **s["counters"]}),
+            "args": _jsonable(
+                dict(sorted({**s["attrs"], **s["counters"]}.items()))
+            ),
         })
         # Span counters additionally appear as counter tracks so miss
         # classes etc. render as stacked graphs in the trace viewer.
@@ -183,7 +185,9 @@ def lane_trace_events(
             "ts": end_ts,
             "args": {name: _jsonable(value)},
         })
-    timed.sort(key=lambda e: e["ts"])
+    # (ts, name) tie-break keeps the export byte-stable when several
+    # events share a timestamp (common for counter flushes at end_ts).
+    timed.sort(key=lambda e: (e["ts"], e["name"]))
     out: List[Dict[str, Any]] = []
     if process_name is not None:
         out.append({"name": "process_name", "ph": "M", "pid": pid,

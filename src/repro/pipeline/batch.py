@@ -121,6 +121,9 @@ class BatchResult:
     attempts: int = 1
     degraded: bool = False
     degrade_reason: str = ""
+    # Decision records (as dicts) of the compile that produced this
+    # point, for `repro diff` root-cause attribution on batch outputs.
+    provenance: List[Dict[str, object]] = field(default_factory=list)
     # Frozen obs snapshot (repro.obs.agg.snapshot) of the attempt that
     # produced this result, when the batch collected telemetry.
     telemetry: Optional[Dict[str, object]] = None
@@ -215,6 +218,7 @@ def _point_session(point: BatchPoint, session,
         elapsed=elapsed,
         degraded=degrade_reason is not None,
         degrade_reason=degrade_reason or "",
+        provenance=[r.as_dict() for r in session.last_provenance],
     )
 
 

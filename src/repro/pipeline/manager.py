@@ -17,6 +17,7 @@ from typing import Any, Dict, Optional
 
 from repro import faults, obs
 from repro.errors import CompileError, ReproError
+from repro.obs import provenance
 from repro.pipeline.cache import MISS, ArtifactCache
 from repro.pipeline.passes import Pass, PassContext
 
@@ -40,12 +41,15 @@ class PassManager:
         it in ``ctx.artifacts``, and return it."""
         key = pass_.cache_key(ctx) if self.cache is not None else None
         if key is not None:
-            value = self.cache.get(key)
-            if value is not MISS:
+            cached = self.cache.get(key)
+            if cached is not MISS:
+                value, records = provenance.unwrap(cached)
                 self.hits[pass_.name] = self.hits.get(pass_.name, 0) + 1
                 obs.inc(f"pipeline.pass.{pass_.name}.cache_hits")
                 obs.event("pipeline.cache_hit", cat="pipeline",
                           pass_name=pass_.name, key=key[:12])
+                if records:
+                    ctx.provenance.extend(records)
                 ctx.artifacts[pass_.output] = value
                 return value
         with obs.span(f"pass.{pass_.name}", cat="pipeline",
@@ -60,7 +64,8 @@ class PassManager:
                     scheme=ctx.scheme.value if ctx.scheme else None,
                     nprocs=ctx.nprocs,
                 )
-                value = pass_.run(ctx)
+                with provenance.capture() as records:
+                    value = pass_.run(ctx)
             except ReproError:
                 raise  # already typed, context attached at the source
             except (KeyboardInterrupt, SystemExit):
@@ -74,10 +79,18 @@ class PassManager:
                     scheme=ctx.scheme.value if ctx.scheme else None,
                     nprocs=ctx.nprocs,
                 ) from exc
+        ctx.provenance.extend(records)
         self.runs[pass_.name] = self.runs.get(pass_.name, 0) + 1
         obs.inc(f"pipeline.pass.{pass_.name}.runs")
         if key is not None:
-            self.cache.put(key, value)
+            # Records travel with the artifact so cache hits (memory or
+            # disk) replay the exact decision log of the original run.
+            # Bare values are stored when no decision fired, keeping
+            # cache contents for decision-free passes unchanged.
+            if records:
+                self.cache.put(key, provenance.ArtifactEnvelope(value, list(records)))
+            else:
+                self.cache.put(key, value)
         ctx.artifacts[pass_.output] = value
         return value
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro import obs
+from repro.obs.provenance import ProvenanceLog
 from repro.codegen.spmd import Scheme, derive_program_layout, generate_spmd
 from repro.decomp.folding import grid_shape
 from repro.decomp.greedy import decompose_program
@@ -76,6 +77,10 @@ class PassContext:
     line_pad_elements: Optional[int] = None
     decomp_token: str = "auto"
     artifacts: Dict[str, Any] = field(default_factory=dict)
+    # Decision records accumulated across this point's passes, in pass
+    # order; cache hits replay the original run's records (see
+    # repro.obs.provenance).  Not part of any cache key.
+    provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
 
     def require(self, kind: str) -> Any:
         try:

@@ -21,6 +21,7 @@ import threading
 from typing import Dict, Optional, Tuple
 
 from repro import obs
+from repro.obs.provenance import ProvenanceLog
 from repro.codegen.spmd import Scheme, SpmdProgram
 from repro.decomp.model import Decomposition
 from repro.ir.program import Program
@@ -87,6 +88,10 @@ class CompileSession:
         self._layout = LayoutPass()
         self._spmd = SpmdCodegenPass()
         self._verify = VerifyPass()
+        # Decision log of the most recent compile()/compile_all() point
+        # (cache hits replay the original records, so this is complete
+        # even on a fully warm session).
+        self.last_provenance = ProvenanceLog()
 
     # -- pipeline operations ----------------------------------------------
 
@@ -151,7 +156,9 @@ class CompileSession:
         with obs.span("compiler.compile", cat="compiler",
                       program=prog.name, scheme=scheme.value,
                       nprocs=nprocs):
-            return self._compile_ctx(ctx, decomp)
+            spmd = self._compile_ctx(ctx, decomp)
+        self.last_provenance = ctx.provenance
+        return spmd
 
     def _compile_ctx(self, ctx: PassContext,
                      decomp: Optional[Decomposition]) -> SpmdProgram:
@@ -229,6 +236,7 @@ class CompileSession:
                 )
                 ctx.max_dims = md
                 spmds[scheme] = self._compile_ctx(ctx, None)
+                self.last_provenance = ctx.provenance
                 if scheme is not Scheme.BASE and decomp is None:
                     decomp = ctx.artifacts[ART_DECOMPOSITION]
             return CompiledProgram(

@@ -128,6 +128,131 @@ def format_profile_table(result) -> str:
     return "\n".join(lines)
 
 
+def profile_as_dict(result) -> Dict:
+    """Machine-readable counterpart of :func:`format_profile_table`
+    (the ``profile --json`` payload)."""
+    phases = []
+    for pc in result.phase_costs:
+        m = pc.misses or {}
+        phases.append({
+            "nest": pc.nest_name,
+            "time": pc.time,
+            "sync": pc.sync,
+            "accesses": m.get("accesses", 0),
+            "misses": {key: m.get(key, 0) for key, _ in _PROFILE_CLASSES},
+        })
+    return {
+        "scheme": result.scheme,
+        "nprocs": result.nprocs,
+        "total_time": result.total_time,
+        "phases": phases,
+        "arrays": {
+            name: dict(ab)
+            for name, ab in sorted((result.array_breakdown or {}).items())
+        },
+        "numa": dict(result.numa) if result.numa else None,
+        "conflict_sets": (
+            dict(result.conflict_sets) if result.conflict_sets else None
+        ),
+    }
+
+
+# Pipeline order used to group decision records in the explain tree.
+_EXPLAIN_STAGES = ("unimodular", "decomposition", "folding", "layout",
+                   "addropt")
+
+
+def format_explain_tree(log, title: str = "") -> str:
+    """Human-readable decision tree of one compilation's
+    :class:`~repro.obs.provenance.ProvenanceLog` (or a list of record
+    dicts).  Degenerate inputs render a one-line message."""
+    records = log.as_dicts() if hasattr(log, "as_dicts") else list(log or [])
+    head = f"decision provenance: {title}" if title else "decision provenance"
+    if not records:
+        return f"{head}\n(no decisions recorded)"
+    stages = list(_EXPLAIN_STAGES) + sorted(
+        {r.get("stage", "?") for r in records} - set(_EXPLAIN_STAGES)
+    )
+    lines = [
+        f"{head} — {len(records)} decision"
+        f"{'s' if len(records) != 1 else ''} across "
+        f"{len({r.get('stage') for r in records})} stages"
+    ]
+    for stage in stages:
+        group = [r for r in records if r.get("stage") == stage]
+        if not group:
+            continue
+        lines.append(f"[{stage}]")
+        for r in group:
+            lines.append(
+                f"  {r.get('subject', '?')}: chose {r.get('chosen', '?')}"
+                + (f"  ({r.get('reason')})" if r.get("reason") else "")
+            )
+            alts = [a for a in r.get("alternatives", [])
+                    if a != r.get("chosen")]
+            if alts:
+                lines.append(f"      alternatives: {', '.join(alts)}")
+            inputs = r.get("inputs") or {}
+            if inputs:
+                lines.append(
+                    "      inputs: "
+                    + " ".join(
+                        f"{k}={_fmt_value(v)}" for k, v in sorted(inputs.items())
+                    )
+                )
+    return "\n".join(lines)
+
+
+def _describe_record(rec: Optional[Mapping]) -> str:
+    if not rec:
+        return "(absent)"
+    out = (f"[{rec.get('stage', '?')}] {rec.get('site', '?')} "
+           f"{rec.get('subject', '?')}: {rec.get('chosen', '?')}")
+    if rec.get("reason"):
+        out += f" ({rec['reason']})"
+    return out
+
+
+def format_diff_table(diff, title: str = "run diff") -> str:
+    """Ranked root-cause table of a
+    :class:`~repro.obs.provenance.RunDiff`: per differing point, the
+    metric deltas and the first diverging decision record."""
+    lines = [title]
+    if diff.identical:
+        lines.append(
+            f"(runs identical: {diff.n_compared} point"
+            f"{'s' if diff.n_compared != 1 else ''} compared, no deltas)"
+        )
+        return "\n".join(lines)
+    for key in diff.missing_in_b:
+        lines.append(f"point {key}: present in A only")
+    for key in diff.missing_in_a:
+        lines.append(f"point {key}: present in B only")
+    for rank, p in enumerate(diff.points, 1):
+        lines.append(f"#{rank} {p.key}"
+                     + ("" if p.significant else "  [wall-only: noise]"))
+        for d in p.deltas:
+            rel = f" ({d.rel:+.1%})" if d.rel is not None else ""
+            lines.append(
+                f"    {d.metric}: {_fmt_value(d.a)} -> {_fmt_value(d.b)}{rel}"
+            )
+        if p.culprit or p.culprit_was:
+            lines.append(
+                f"    culprit: decision #{p.culprit_index} diverged"
+            )
+            lines.append(f"      A: {_describe_record(p.culprit_was)}")
+            lines.append(f"      B: {_describe_record(p.culprit)}")
+        elif p.note:
+            lines.append(f"    {p.note}")
+    n_sig = sum(1 for p in diff.points if p.significant)
+    lines.append(
+        f"verdict: {'DIVERGED' if diff.significant else 'NOISE-ONLY'} "
+        f"({n_sig} significant point{'s' if n_sig != 1 else ''} of "
+        f"{diff.n_compared} compared)"
+    )
+    return "\n".join(lines)
+
+
 def _fmt_value(v) -> str:
     """Compact cell rendering for bench/regression tables."""
     if isinstance(v, bool):

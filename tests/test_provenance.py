@@ -1,0 +1,255 @@
+"""Decision provenance: capture, cache replay, explain, and run diffing."""
+
+import json
+
+import pytest
+
+from repro import pipeline
+from repro.__main__ import main
+from repro.apps import build_app
+from repro.codegen.spmd import parse_scheme
+from repro.obs import provenance
+from repro.obs.bench import run_bench
+from repro.pipeline import ArtifactCache, CompileSession
+
+
+OPT = parse_scheme("opt")
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    """Keep sessions hermetic: no disk store leaking in from the env."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+
+
+class TestCollection:
+    def test_opt_point_spans_all_stages(self):
+        prog = build_app("tomcatv", n=32)
+        session = CompileSession()
+        _, log = provenance.collect_point(session, prog, OPT, 8)
+        stages = set(log.stages())
+        assert {"unimodular", "decomposition", "folding", "layout",
+                "addropt"} <= stages
+        sites = {r.site for r in log}
+        assert len(sites) >= 5
+        for r in log:
+            assert r.chosen
+            assert r.reason
+            assert r.alternatives
+
+    def test_record_noop_without_capture(self):
+        assert not provenance.active()
+        assert provenance.record("x", stage="s", subject="a",
+                                 chosen="c") is None
+        with provenance.capture() as recs:
+            assert provenance.active()
+            provenance.record("x", stage="s", subject="a", chosen="c",
+                              alternatives=["c", "d"], reason="r", k=1)
+        assert len(recs) == 1
+        assert recs[0].as_dict()["inputs"] == {"k": 1}
+
+    def test_scheme_alias_opt(self):
+        from repro.compiler import Scheme
+
+        assert parse_scheme("OPT") is Scheme.COMP_DECOMP_DATA
+
+
+class TestCacheReplay:
+    def _log_json(self, session, prog):
+        _, log = provenance.collect_point(session, prog, OPT, 8)
+        return log.to_json(), session.manager.counts()
+
+    def test_disk_cache_replays_identical_log(self, tmp_path):
+        """A disk-cache-warmed session must replay the decision log
+        bit-identically without re-running any pass."""
+        prog = build_app("tomcatv", n=32)
+        cold = CompileSession(cache=ArtifactCache(disk_dir=tmp_path))
+        cold_json, cold_counts = self._log_json(cold, prog)
+        assert sum(cold_counts["runs"].values()) > 0
+
+        warm = CompileSession(cache=ArtifactCache(disk_dir=tmp_path))
+        warm_json, warm_counts = self._log_json(
+            warm, build_app("tomcatv", n=32))
+        assert warm_json == cold_json
+        assert sum(warm_counts["runs"].values()) == 0
+        assert sum(warm_counts["hits"].values()) > 0
+
+    def test_capture_state_does_not_change_cache_keys(self):
+        """Whether anyone is listening must not perturb fingerprints:
+        a compile inside an outer capture hits the artifacts written by
+        one that ran with no capture at all."""
+        cache = ArtifactCache()
+        first = CompileSession(cache=cache)
+        first.compile(build_app("simple", n=12), OPT, 4)
+        assert sum(first.manager.counts()["hits"].values()) == 0
+
+        second = CompileSession(cache=cache)
+        with provenance.capture():
+            second.compile(build_app("simple", n=12), OPT, 4)
+        counts = second.manager.counts()
+        assert sum(counts["runs"].values()) == 0
+        assert sum(counts["hits"].values()) > 0
+        assert len(second.last_provenance) == len(first.last_provenance)
+
+    def test_bare_values_unwrap_without_records(self):
+        value, records = provenance.unwrap({"plain": "artifact"})
+        assert value == {"plain": "artifact"}
+        assert records == []
+
+
+class TestDiff:
+    def _snap(self, **kw):
+        return run_bench(apps=["simple"], schemes=[OPT], procs=[4],
+                         n=12, repeats=1, **kw)
+
+    def test_identical_runs(self):
+        snap = self._snap()
+        assert snap["points"][0]["provenance"]
+        diff = provenance.diff_runs(snap, snap)
+        assert diff.identical
+        assert not diff.significant
+        assert diff.n_compared == 1
+
+    def test_forced_layout_change_is_attributed(self, monkeypatch,
+                                                tmp_path, capsys):
+        """Two runs differing only in one forced layout decision: the
+        diff must blame that decision and the CLI must exit nonzero."""
+        snap_a = self._snap()
+
+        import repro.codegen.spmd as spmdmod
+        from repro.datatrans.transform import identity_transform
+
+        def forced(decl, *args, **kwargs):
+            provenance.record(
+                "datatrans.layout", stage="layout", subject=decl.name,
+                chosen="identity",
+                alternatives=["identity", "strip-mine+permute"],
+                reason="forced identity (test)",
+            )
+            return identity_transform(decl)
+
+        monkeypatch.setattr(spmdmod, "derive_layout", forced)
+        snap_b = self._snap()
+        monkeypatch.undo()
+
+        diff = provenance.diff_runs(snap_a, snap_b)
+        assert diff.significant
+        point = diff.points[0]
+        assert point.culprit is not None
+        assert point.culprit["stage"] == "layout"
+        assert point.culprit["chosen"] == "identity"
+        assert point.culprit_was["chosen"] == "strip-mine+permute"
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(snap_a))
+        b.write_text(json.dumps(snap_b))
+        assert main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "culprit" in out
+        assert "datatrans.layout" in out
+        assert "DIVERGED" in out
+
+    def test_diff_cli_identical_exits_zero(self, tmp_path, capsys):
+        snap = self._snap()
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(snap))
+        assert main(["diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_cli_json(self, tmp_path, capsys):
+        snap = self._snap()
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(snap))
+        assert main(["diff", str(a), str(a), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is True
+
+    def test_missing_provenance_fails_soft(self):
+        """Pre-provenance snapshots (e.g. the committed baseline) diff
+        without attribution rather than crashing."""
+        snap = self._snap()
+        legacy = json.loads(json.dumps(snap))
+        for p in legacy["points"]:
+            p.pop("provenance", None)
+            p["sim"]["total_time"] += 1.0
+        diff = provenance.diff_runs(legacy, snap)
+        assert diff.significant
+        assert diff.points[0].culprit is None
+        assert "provenance" in diff.points[0].note
+
+    def test_wall_only_delta_is_noise(self):
+        snap = self._snap()
+        jittered = json.loads(json.dumps(snap))
+        for p in jittered["points"]:
+            p["wall"] = {
+                k: (v * 1.5 if isinstance(v, (int, float)) else v)
+                for k, v in p["wall"].items()
+            }
+        diff = provenance.diff_runs(snap, jittered)
+        assert not diff.identical
+        assert not diff.significant  # wall deltas never gate
+
+
+class TestExplainCli:
+    def test_explain_text(self, capsys):
+        assert main(["explain", "tomcatv", "--scheme", "OPT",
+                     "--procs", "8"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("[unimodular]", "[decomposition]", "[folding]",
+                      "[layout]", "[addropt]"):
+            assert stage in out
+        assert "alternatives:" in out
+
+    def test_explain_json(self, capsys):
+        assert main(["explain", "simple", "--scheme", "opt",
+                     "--procs", "4", "--n", "12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "simple"
+        assert payload["n_decisions"] == len(payload["decisions"])
+        assert payload["n_decisions"] > 0
+        assert set(payload["stages"]) >= {"unimodular", "layout"}
+
+    def test_explain_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "nosuchapp"])
+
+
+class TestTraceDeterminism:
+    def test_tied_timestamps_sort_by_name(self):
+        """Events sharing a timestamp appear name-sorted, so the trace
+        is byte-stable regardless of dict insertion order."""
+        from repro.obs.export import lane_trace_events
+
+        def state(counter_order):
+            return {
+                "t0": 0.0,
+                "spans": [{
+                    "name": "pass.layout", "cat": "pipeline",
+                    "start": 0.0, "end": 1.0, "attrs": {},
+                    "counters": {k: 1 for k in counter_order},
+                }],
+                "events": [],
+                "metrics": {"counters": {}, "gauges": {},
+                            "histograms": {}},
+            }
+
+        a = lane_trace_events(state(["b", "a", "c"]), pid=0, t0=0.0)
+        b = lane_trace_events(state(["c", "b", "a"]), pid=0, t0=0.0)
+        assert json.dumps(a) == json.dumps(b)
+        names = [e["name"] for e in a if e["ph"] == "C"]
+        assert names == sorted(names)
+
+    def test_merged_metrics_name_sorted(self):
+        from repro import obs
+        from repro.obs.agg import MergedTrace, snapshot
+
+        obs.enable(reset=True)
+        obs.inc("zeta", 1)
+        obs.inc("alpha", 2)
+        merged = MergedTrace(snapshot())
+        metrics = merged.merged_metrics()
+        obs.disable()
+        keys = list(metrics["counters"])
+        assert keys == sorted(keys)

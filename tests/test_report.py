@@ -101,3 +101,66 @@ class TestTable1:
         assert "(*, CYCLIC)" in text
         lines = text.splitlines()
         assert len(lines) == 4
+
+
+class TestExplainTree:
+    def test_empty_log_one_liner(self):
+        from repro.obs.provenance import ProvenanceLog
+        from repro.report import format_explain_tree
+
+        text = format_explain_tree(ProvenanceLog(), title="x/opt/P4")
+        assert text.splitlines()[-1] == "(no decisions recorded)"
+        assert "x/opt/P4" in text
+
+    def test_none_and_empty_list(self):
+        from repro.report import format_explain_tree
+
+        assert "(no decisions recorded)" in format_explain_tree(None)
+        assert "(no decisions recorded)" in format_explain_tree([])
+
+    def test_partial_record_dicts_fail_soft(self):
+        from repro.report import format_explain_tree
+
+        # Records missing most keys (e.g. hand-edited JSON) still render.
+        text = format_explain_tree([{"stage": "layout"}, {}])
+        assert "[layout]" in text
+        assert "?" in text
+
+
+class TestDiffTable:
+    def test_identical_one_liner(self):
+        from repro.obs.provenance import RunDiff
+        from repro.report import format_diff_table
+
+        diff = RunDiff()
+        diff.n_compared = 3
+        text = format_diff_table(diff)
+        assert "(runs identical: 3 points compared, no deltas)" in text
+
+    def test_no_overlap(self):
+        from repro.obs.provenance import RunDiff
+        from repro.report import format_diff_table
+
+        diff = RunDiff()
+        diff.missing_in_b = ["a/base/P1"]
+        diff.missing_in_a = ["b/base/P1"]
+        text = format_diff_table(diff)
+        assert "present in A only" in text
+        assert "present in B only" in text
+
+    def test_diff_cli_bad_file_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        missing = tmp_path / "nope.json"
+        assert main(["diff", str(missing), str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("diff: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_diff_cli_wrong_schema_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"hello": 1}')
+        assert main(["diff", str(bad), str(bad)]) == 2
+        assert "points" in capsys.readouterr().err
