@@ -286,7 +286,7 @@ def cmd_profile(args) -> int:
     with obs.span("profile", cat="cli", app=args.app,
                   scheme=scheme.value, nprocs=args.procs):
         spmd = compile_program(prog, scheme, args.procs)
-        res = simulate(spmd, machine, detail=True)
+        res = simulate(spmd, machine, detail=True, locality=True)
 
     print(summary())
     print()
@@ -298,17 +298,149 @@ def cmd_profile(args) -> int:
         if args.json == "-":
             print(text)
         else:
-            with open(args.json, "w") as fh:
-                fh.write(text + "\n")
-            print(f"\nwrote profile JSON to {args.json}")
+            _write_text(args.json, text + "\n", "profile JSON")
     if args.output:
         if args.format == "chrome":
-            write_chrome_trace(args.output)
+            try:
+                write_chrome_trace(args.output)
+            except OSError as exc:
+                raise SystemExit(f"cannot write {args.output}: {exc}")
             print(f"\nwrote Chrome trace to {args.output} "
                   "(load in chrome://tracing or https://ui.perfetto.dev)")
         else:
-            write_json(args.output)
+            try:
+                write_json(args.output)
+            except OSError as exc:
+                raise SystemExit(f"cannot write {args.output}: {exc}")
             print(f"\nwrote JSON telemetry dump to {args.output}")
+    return 0
+
+
+def _write_text(path: str, text: str, what: str) -> None:
+    """Write a CLI artifact, turning I/O failures (missing directory,
+    permissions) into one-line errors instead of tracebacks."""
+    try:
+        with open(path, "w") as fh:
+            fh.write(text)
+    except OSError as exc:
+        raise SystemExit(f"cannot write {what} to {path}: {exc}")
+    print(f"\nwrote {what} to {path}")
+
+
+def _grid_args(args):
+    """Validated (apps, schemes) of a grid command (batch/bench-style
+    --apps/--schemes flags)."""
+    apps = _split_csv(args.apps)
+    if not apps:
+        raise SystemExit("no apps selected")
+    for a in apps:
+        if a not in ALL_APPS:
+            raise SystemExit(
+                f"unknown app {a!r}; available: "
+                f"{', '.join(sorted(ALL_APPS))}"
+            )
+    try:
+        schemes = [parse_scheme(s) for s in _split_csv(args.schemes)]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not schemes:
+        raise SystemExit("no schemes selected")
+    return apps, schemes
+
+
+def cmd_hotspots(args) -> int:
+    """``python -m repro hotspots``: sample the compile+simulate hot
+    path over a grid and report self/cumulative time per function plus
+    the locality analytics of every point."""
+    from repro.machine import scaled_dash
+    from repro.machine.simulate import simulate
+    from repro.obs.hotspot import HotspotProfiler
+    from repro.report import (
+        format_hotspot_table,
+        format_locality_table,
+        hotspots_html,
+    )
+
+    apps, schemes = _grid_args(args)
+    _apply_session_args(args)
+
+    points = []
+    profiler = HotspotProfiler(interval=args.interval)
+    profiler.start()
+    try:
+        for app in apps:
+            prog = _build(app, args.n, args.time_steps)
+            word = min(d.element_size for d in prog.arrays.values())
+            for scheme in schemes:
+                for p in args.procs_list:
+                    machine = scaled_dash(p, scale=args.scale,
+                                          word_bytes=word)
+                    spmd = compile_program(prog, scheme, p)
+                    for _ in range(args.repeats):
+                        res = simulate(spmd, machine)
+                    points.append((app, scheme, p, spmd, machine, res))
+    finally:
+        report = profiler.stop()
+
+    # Locality analytics run *outside* the profiling window: they are
+    # O(n log n) Python-side work that would otherwise drown out the
+    # production hot path they are meant to explain.
+    out_points = []
+    for app, scheme, p, spmd, machine, res in points:
+        loc = simulate(spmd, machine, locality=True).locality
+        out_points.append({
+            "app": app,
+            "scheme": scheme.value,
+            "nprocs": p,
+            "total_time": res.total_time,
+            "n_accesses": res.n_accesses,
+            "locality": loc,
+        })
+
+    payload = {
+        "config": {
+            "apps": apps,
+            "schemes": [s.value for s in schemes],
+            "procs": args.procs_list,
+            "n": args.n,
+            "time_steps": args.time_steps,
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "interval": args.interval,
+        },
+        "hotspots": report.as_dict(),
+        "points": out_points,
+    }
+
+    print(format_hotspot_table(payload["hotspots"], top=args.top))
+    for point in out_points:
+        print()
+        print(f"point: {point['app']} {point['scheme']} "
+              f"P={point['nprocs']}")
+        print(format_locality_table(point["locality"]))
+
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            _write_text(args.json, text + "\n", "hotspots JSON")
+    if args.html:
+        _write_text(args.html, hotspots_html(payload), "hotspots HTML")
+
+    if args.expect_hot:
+        ranked_fns = [f.key for f in report.top(5, include_external=False)]
+        modules = sorted(report.by_module().items(),
+                         key=lambda kv: (-kv[1], kv[0]))
+        ranked_mods = [m for m, _ in modules[:5]]
+        hit = any(args.expect_hot in k for k in ranked_fns + ranked_mods)
+        if not hit:
+            print(f"error: --expect-hot {args.expect_hot!r} not in the "
+                  f"top-5 self-time ranking (functions: {ranked_fns}; "
+                  f"modules: {ranked_mods})", file=sys.stderr)
+            return 1
+        print(f"\nexpect-hot OK: {args.expect_hot!r} is in the top-5 "
+              "self-time ranking")
     return 0
 
 
@@ -362,21 +494,7 @@ def cmd_batch(args) -> int:
         summarize,
     )
 
-    apps = _split_csv(args.apps)
-    if not apps:
-        raise SystemExit("no apps selected")
-    for a in apps:
-        if a not in ALL_APPS:
-            raise SystemExit(
-                f"unknown app {a!r}; available: "
-                f"{', '.join(sorted(ALL_APPS))}"
-            )
-    try:
-        schemes = [parse_scheme(s) for s in _split_csv(args.schemes)]
-    except ValueError as exc:
-        raise SystemExit(str(exc))
-    if not schemes:
-        raise SystemExit("no schemes selected")
+    apps, schemes = _grid_args(args)
     procs = args.procs_list
 
     points = make_grid(
@@ -416,6 +534,7 @@ def cmd_batch(args) -> int:
             timeout=args.timeout, retries=args.retries,
             backoff=args.backoff, degrade=not args.no_degrade,
             collect_telemetry=collect,
+            locality=bool(args.json),
         )
     finally:
         if args.inject_faults is not None:
@@ -533,21 +652,7 @@ def cmd_bench(args) -> int:
     )
     from repro.report import format_bench_table, format_regression_table
 
-    apps = _split_csv(args.apps)
-    if not apps:
-        raise SystemExit("no apps selected")
-    for a in apps:
-        if a not in ALL_APPS:
-            raise SystemExit(
-                f"unknown app {a!r}; available: "
-                f"{', '.join(sorted(ALL_APPS))}"
-            )
-    try:
-        schemes = [parse_scheme(s) for s in _split_csv(args.schemes)]
-    except ValueError as exc:
-        raise SystemExit(str(exc))
-    if not schemes:
-        raise SystemExit("no schemes selected")
+    apps, schemes = _grid_args(args)
 
     # Resolve the baseline before saving: --compare against the
     # pointer file must mean "the previous run", not the snapshot this
@@ -708,6 +813,39 @@ def main(argv=None) -> int:
     _add_cache_flags(p)
 
     p = sub.add_parser(
+        "hotspots",
+        help="sample the compile+simulate hot path over a grid; rank "
+             "self-time per function and report locality analytics",
+    )
+    p.add_argument("--apps", default="simple,stencil5",
+                   help="comma-separated app names")
+    p.add_argument("--schemes", default="base,comp,data",
+                   help="comma-separated scheme names (any alias)")
+    p.add_argument("--procs-list", type=_procs_csv, default="1,4",
+                   help="comma-separated processor counts")
+    p.add_argument("--n", type=_positive_int, default=16,
+                   help="problem size per app")
+    p.add_argument("--time-steps", type=_positive_int, default=None)
+    p.add_argument("--scale", type=_positive_int, default=16)
+    p.add_argument("--repeats", type=_positive_int, default=3,
+                   help="simulate() repetitions per point while "
+                        "sampling (weights the steady-state hot path)")
+    p.add_argument("--interval", type=_positive_int, default=7,
+                   help="profile events between samples (tick count)")
+    p.add_argument("--top", type=_positive_int, default=15,
+                   help="ranked functions to print")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full payload (ranking, modules, "
+                        "per-point locality) as JSON; '-' for stdout")
+    p.add_argument("--html", default=None, metavar="PATH",
+                   help="write a self-contained HTML report with "
+                        "phase×array heatmaps")
+    p.add_argument("--expect-hot", default=None, metavar="SUBSTR",
+                   help="exit nonzero unless SUBSTR appears in the "
+                        "top-5 self-time ranking (CI guard)")
+    _add_cache_flags(p)
+
+    p = sub.add_parser(
         "verify",
         help="semantically verify compiled output against the "
              "sequential reference (app x scheme x procs grid)",
@@ -840,6 +978,7 @@ def main(argv=None) -> int:
         "emit": cmd_emit,
         "run": cmd_run,
         "profile": cmd_profile,
+        "hotspots": cmd_hotspots,
         "verify": cmd_verify,
         "batch": cmd_batch,
         "bench": cmd_bench,

@@ -47,6 +47,11 @@ class SimResult:
     array_breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
     numa: Dict[str, float] = field(default_factory=dict)
     conflict_sets: Dict[str, object] = field(default_factory=dict)
+    # Locality analytics (repro.machine.locality.LocalityReport.as_dict()),
+    # filled only on simulate(..., locality=True): reuse-distance
+    # histograms per array, set-pressure distribution, phase x array
+    # heatmap.  Deterministic, so bench snapshots exact-match it.
+    locality: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
         mb = self.miss_breakdown
@@ -78,17 +83,24 @@ def _class_masks(cls, miss_local, miss_remote) -> Dict[str, np.ndarray]:
 
 
 def simulate(
-    spmd: SpmdProgram, machine: DashConfig, detail: bool = False
+    spmd: SpmdProgram, machine: DashConfig, detail: bool = False,
+    locality: bool = False,
 ) -> SimResult:
     """Simulate one compiled program on one machine.
 
     ``detail=True`` forces the per-array / NUMA / conflict-set profile
     fields of :class:`SimResult` to be computed even when observability
     is disabled (they are always computed when it is enabled).
+    ``locality=True`` additionally runs the reuse-distance / set-pressure
+    / heatmap analytics (:mod:`repro.machine.locality`) over one round
+    of the address stream and stores them in ``SimResult.locality``;
+    they are opt-in only — never implied by observability — because the
+    reuse sweep costs O(n log n) Python-side work.
     """
     with obs.span("sim.simulate", cat="machine", scheme=spmd.scheme.value,
                   nprocs=spmd.nprocs) as sp:
-        res = _simulate_impl(spmd, machine, detail or obs.enabled())
+        res = _simulate_impl(spmd, machine, detail or obs.enabled(),
+                             locality)
         sp.set(total_time=res.total_time, accesses=res.n_accesses)
         for k, v in res.miss_breakdown.items():
             sp.add(k, v)
@@ -96,10 +108,20 @@ def simulate(
 
 
 def _simulate_impl(
-    spmd: SpmdProgram, machine: DashConfig, detail: bool
+    spmd: SpmdProgram, machine: DashConfig, detail: bool,
+    locality: bool = False,
 ) -> SimResult:
     prog = spmd.program
     space, traces = program_traces(spmd, machine.numa.page_bytes)
+    locality_dict: Dict[str, object] = {}
+    if locality:
+        from repro.machine.locality import collect_locality
+
+        # One round of the phase sequence (one time step) — the same
+        # stream the cache model replays per round.
+        locality_dict = collect_locality(
+            space, traces, machine.cache
+        ).as_dict()
 
     # Two rounds of the phase sequence: cold then steady state.
     rounds = 2 if prog.time_steps > 1 else 1
@@ -116,6 +138,7 @@ def _simulate_impl(
             round_times=(0.0, 0.0),
             time_steps=prog.time_steps,
             phase_costs=[],
+            locality=locality_dict,
         )
 
     proc = np.concatenate([t.proc for _, t, _ in seq])
@@ -243,6 +266,7 @@ def _simulate_impl(
         array_breakdown=array_breakdown,
         numa=numa,
         conflict_sets=conflict,
+        locality=locality_dict,
     )
 
 

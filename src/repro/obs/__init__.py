@@ -59,6 +59,11 @@ from repro.obs.export import (
     write_chrome_trace,
     write_json,
 )
+from repro.obs.hotspot import (
+    HotspotProfiler,
+    HotspotReport,
+    profile,
+)
 
 __all__ = [
     "ENV_FLAG",
@@ -93,4 +98,7 @@ __all__ = [
     "to_json",
     "write_chrome_trace",
     "write_json",
+    "HotspotProfiler",
+    "HotspotReport",
+    "profile",
 ]

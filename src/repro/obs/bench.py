@@ -53,7 +53,12 @@ __all__ = [
     "save_snapshot",
 ]
 
-SCHEMA_VERSION = 1
+# Schema history:
+#   1 — wall/sim (misses, addressing, numa, conflict) + provenance.
+#   2 — adds sim.locality (reuse-distance / set-pressure / heatmap
+#       fingerprint, exact-match gated) and the non-gated "profile"
+#       key (top self-time functions; timing, so never compared).
+SCHEMA_VERSION = 2
 
 DEFAULT_APPS = ("simple", "stencil5")
 DEFAULT_SCHEMES = ("base", "comp", "data")
@@ -63,6 +68,11 @@ DEFAULT_REPEATS = 3
 DEFAULT_SCALE = 16
 DEFAULT_OUT_DIR = os.path.join("results", "bench")
 LATEST_POINTER = "BENCH_latest.json"
+
+# History cap for the append-only series.jsonl: newest N lines are
+# kept on rotation (mirrors the quarantine cap in repro.pipeline.cache
+# — bound the on-disk history, keep the most recent evidence).
+SERIES_KEEP = 256
 
 DEFAULT_WALL_TOL = 0.30
 # Absolute slack under the relative wall gate: scheduler jitter on a
@@ -134,7 +144,7 @@ def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
     obs.reset()
 
     # One detail run for the deterministic machine metrics ...
-    res = simulate(spmd, machine, detail=True)
+    res = simulate(spmd, machine, detail=True, locality=True)
     sim: Dict[str, Any] = {
         "total_time": res.total_time,
         "n_accesses": res.n_accesses,
@@ -154,6 +164,11 @@ def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
             "nsets": int(cs["nsets"]),
             "max_per_set": int(cs["max_per_set"]),
         }
+    if res.locality:
+        # Deterministic locality fingerprint: lives under "sim" so the
+        # exact-match gate covers it — a simulator rewrite that changes
+        # any reuse/pressure histogram fails the bench comparison.
+        sim["locality"] = res.locality
 
     # ... and N timed repeats of the plain simulation for wall time.
     samples: List[float] = []
@@ -161,6 +176,28 @@ def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
         t0 = time.perf_counter()
         simulate(spmd, machine)
         samples.append(time.perf_counter() - t0)
+
+    # One extra sampled run for the hotspot fingerprint.  Kept outside
+    # the timed repeats (the sampler's hook would inflate them) and
+    # outside "sim" (wall-clock attribution is nondeterministic, so the
+    # exact-match gate must never read it).
+    from repro.obs.hotspot import HotspotProfiler
+
+    prof = HotspotProfiler()
+    prof.start()
+    try:
+        simulate(spmd, machine)
+    finally:
+        hot = prof.stop()
+    profile = {
+        "wall_s": hot.wall_s,
+        "samples": hot.samples,
+        "top_self": [
+            {"key": f.key, "self_s": f.self_s, "cum_s": f.cum_s}
+            for f in hot.top(5, include_external=False)
+        ],
+        "modules": hot.by_module(),
+    }
     return {
         "app": app,
         "scheme": scheme_short_name(scheme),
@@ -175,6 +212,7 @@ def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
             "max": max(samples),
         },
         "sim": sim,
+        "profile": profile,
         # Decision provenance rides along for `repro diff` root-cause
         # attribution; compare_snapshots only reads "sim"/"wall", so
         # this key never affects the regression gate.
@@ -271,12 +309,19 @@ def save_snapshot(
 
 
 def append_series(name: str, payload: Dict[str, Any],
-                  path: Optional[os.PathLike] = None) -> str:
+                  path: Optional[os.PathLike] = None,
+                  keep: int = SERIES_KEEP) -> str:
     """Append one experiment's measured series to the benchmark history
     (default ``$REPRO_RESULTS_DIR/bench/series.jsonl``): one
     timestamped, host-stamped JSON object per line, so every benchmark
     run grows a comparable time series next to the ``bench`` grid
-    snapshots.  Returns the path written."""
+    snapshots.  Returns the path written.
+
+    The file is capped at ``keep`` lines: when an append pushes it
+    over, the newest ``keep`` lines are rewritten atomically (temp file
+    + rename) and the rotation is counted on the
+    ``bench.series.rotated`` / ``bench.series.dropped`` obs counters.
+    """
     if path is None:
         root = os.environ.get("REPRO_RESULTS_DIR", "results")
         path = os.path.join(root, "bench", "series.jsonl")
@@ -292,6 +337,17 @@ def append_series(name: str, payload: Dict[str, Any],
     }
     with open(p, "a") as fh:
         fh.write(json.dumps(line, default=str) + "\n")
+    if keep and keep > 0:
+        with open(p) as fh:
+            lines = fh.readlines()
+        if len(lines) > keep:
+            dropped = len(lines) - keep
+            tmp = p.with_suffix(".jsonl.tmp")
+            with open(tmp, "w") as fh:
+                fh.writelines(lines[-keep:])
+            os.replace(tmp, p)
+            obs.inc("bench.series.rotated")
+            obs.counter("bench.series.dropped").add(dropped)
     return str(p)
 
 

@@ -43,6 +43,11 @@ def _us(t: float, t0: float) -> float:
     return (t - t0) * 1e6
 
 
+def _fmt_opt(v: Any) -> str:
+    """Compact rendering of an optional numeric summary field."""
+    return "-" if v is None else f"{v:.3g}"
+
+
 def to_json(collector: Optional[Collector] = None) -> Dict[str, Any]:
     """Full structured dump of one recording."""
     c = collector or core.collector()
@@ -271,6 +276,8 @@ def summary(collector: Optional[Collector] = None, max_events: int = 20) -> str:
         for k, h in snap["histograms"].items():
             lines.append(
                 f"  {k:<40s}n={h['count']} mean={h['mean']:.3g} "
+                f"p50={_fmt_opt(h.get('p50'))} "
+                f"p95={_fmt_opt(h.get('p95'))} "
                 f"min={h['min']} max={h['max']}"
             )
     if c.events:

@@ -40,10 +40,25 @@ class Gauge:
         return self
 
 
-class Histogram:
-    """Streaming summary (count/sum/min/max) of observed values."""
+# Retained-sample cap per histogram.  Exact percentiles up to the cap;
+# past it, samples are decimated deterministically (every other kept,
+# stride doubled), so two identical observation streams always retain
+# identical samples — no randomized reservoir.
+SAMPLE_CAP = 512
 
-    __slots__ = ("name", "count", "total", "min", "max")
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/percentiles) of observed
+    values.
+
+    A bounded, deterministically decimated sample list backs the
+    percentile estimates: every observation is retained until
+    :data:`SAMPLE_CAP`, after which every other retained sample is
+    dropped and only every ``stride``-th future observation is kept.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples",
+                 "_stride")
 
     def __init__(self, name: str):
         self.name = name
@@ -51,8 +66,17 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples = []
+        self._stride = 1
 
     def observe(self, value: float) -> "Histogram":
+        if self.count % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > SAMPLE_CAP:
+                # Keep observation indices that are multiples of the
+                # doubled stride (positions 0, 2, 4, ... of the list).
+                del self.samples[1::2]
+                self._stride *= 2
         self.count += 1
         self.total += value
         if value < self.min:
@@ -64,6 +88,28 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolation percentile over the retained samples
+        (``q`` in [0, 1]); 0.0 on an empty histogram.  Exact while the
+        observation count is within :data:`SAMPLE_CAP`."""
+        if not self.samples:
+            return 0.0
+        xs = sorted(self.samples)
+        if len(xs) == 1:
+            return xs[0]
+        pos = q * (len(xs) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(xs) - 1)
+        return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
 
 
 class _NoopMetric:
@@ -124,6 +170,8 @@ class MetricsRegistry:
                     "min": h.min if h.count else None,
                     "max": h.max if h.count else None,
                     "mean": h.mean,
+                    "p50": h.p50 if h.count else None,
+                    "p95": h.p95 if h.count else None,
                 }
                 for k, h in sorted(self.histograms.items())
             },

@@ -124,6 +124,9 @@ class BatchResult:
     # Decision records (as dicts) of the compile that produced this
     # point, for `repro diff` root-cause attribution on batch outputs.
     provenance: List[Dict[str, object]] = field(default_factory=list)
+    # Locality analytics (reuse/pressure/heatmap) of the simulated
+    # stream, filled when the batch ran with ``locality=True``.
+    locality: Dict[str, object] = field(default_factory=dict)
     # Frozen obs snapshot (repro.obs.agg.snapshot) of the attempt that
     # produced this result, when the batch collected telemetry.
     telemetry: Optional[Dict[str, object]] = None
@@ -156,8 +159,8 @@ def make_grid(
     ]
 
 
-def _point_session(point: BatchPoint, session,
-                   degrade: bool = False) -> BatchResult:
+def _point_session(point: BatchPoint, session, degrade: bool = False,
+                   locality: bool = False) -> BatchResult:
     """Compile + simulate one point on the session (may raise)."""
     from repro.apps import build_app
     from repro.codegen.spmd import parse_scheme
@@ -188,7 +191,7 @@ def _point_session(point: BatchPoint, session,
             decomp_nprocs=point.decomp_procs,
         )
     try:
-        res = simulate(spmd, machine)
+        res = simulate(spmd, machine, locality=locality)
     except (ReproError, KeyboardInterrupt, SystemExit):
         raise
     except Exception as exc:
@@ -219,16 +222,18 @@ def _point_session(point: BatchPoint, session,
         degraded=degrade_reason is not None,
         degrade_reason=degrade_reason or "",
         provenance=[r.as_dict() for r in session.last_provenance],
+        locality=dict(res.locality),
     )
 
 
-def run_point(point: BatchPoint, session,
-              degrade: bool = False) -> BatchResult:
+def run_point(point: BatchPoint, session, degrade: bool = False,
+              locality: bool = False) -> BatchResult:
     """Run one point with error isolation (never raises)."""
     with obs.span("batch.point", cat="batch", app=point.app,
                   scheme=point.scheme, nprocs=point.nprocs):
         try:
-            return _point_session(point, session, degrade=degrade)
+            return _point_session(point, session, degrade=degrade,
+                                  locality=locality)
         except BaseException as exc:  # isolate even SystemExit
             if isinstance(exc, KeyboardInterrupt):
                 raise
@@ -255,7 +260,7 @@ def _make_session(disk_dir: Optional[str], cache: bool):
 
 def _worker_run(payload) -> BatchResult:
     global _worker_session, _worker_config
-    point_dict, disk_dir, cache, degrade, collect = payload
+    point_dict, disk_dir, cache, degrade, collect, locality = payload
     # Injected process-level faults (crash/stall) fire only here, in
     # worker processes — never in the driver.
     faults.maybe_worker_faults()
@@ -265,7 +270,7 @@ def _worker_run(payload) -> BatchResult:
         _worker_config = config
     if not collect:
         return run_point(BatchPoint(**point_dict), _worker_session,
-                         degrade=degrade)
+                         degrade=degrade, locality=locality)
     # One fresh collector per point: the snapshot shipped back with the
     # result then holds exactly this point's spans/events/metrics.
     from repro.obs import agg
@@ -273,7 +278,7 @@ def _worker_run(payload) -> BatchResult:
     obs.enable(reset=True)
     try:
         result = run_point(BatchPoint(**point_dict), _worker_session,
-                           degrade=degrade)
+                           degrade=degrade, locality=locality)
         result.telemetry = agg.snapshot()
     finally:
         obs.disable()
@@ -311,6 +316,7 @@ def run_batch(
     backoff: float = 0.5,
     degrade: bool = True,
     collect_telemetry: bool = False,
+    locality: bool = False,
 ) -> List[BatchResult]:
     """Run every point; results come back in input order.
 
@@ -329,35 +335,43 @@ def run_batch(
     merge.  The serial path records straight into the caller's own
     collector instead (enable obs before calling), so its results carry
     no per-point snapshots.
+
+    ``locality`` attaches the deterministic reuse-distance /
+    set-pressure / heatmap analytics to every point
+    (``BatchResult.locality``) at the cost of one extra analytics pass
+    over each point's address stream.
     """
     points = list(points)
     if jobs <= 1:
         return _run_serial(points, cache, disk_dir, retries, backoff,
-                           degrade)
+                           degrade, locality)
     return _run_parallel(points, jobs, cache, disk_dir, timeout,
-                         retries, backoff, degrade, collect_telemetry)
+                         retries, backoff, degrade, collect_telemetry,
+                         locality)
 
 
 def _run_serial(points, cache, disk_dir, retries, backoff,
-                degrade) -> List[BatchResult]:
+                degrade, locality=False) -> List[BatchResult]:
     session = _make_session(disk_dir, cache)
     out: List[BatchResult] = []
     for point in points:
         attempt = 1
-        result = run_point(point, session, degrade=degrade)
+        result = run_point(point, session, degrade=degrade,
+                           locality=locality)
         while not result.ok and attempt <= retries:
             obs.inc("batch.retries")
             time.sleep(_backoff_delay(backoff, attempt + 1))
             attempt += 1
-            result = run_point(point, session, degrade=degrade)
+            result = run_point(point, session, degrade=degrade,
+                               locality=locality)
         result.attempts = attempt
         out.append(result)
     return out
 
 
 def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
-                  backoff, degrade,
-                  collect_telemetry=False) -> List[BatchResult]:
+                  backoff, degrade, collect_telemetry=False,
+                  locality=False) -> List[BatchResult]:
     """Wave-based execution: each wave gets a fresh pool for whatever
     is still pending.
 
@@ -369,7 +383,8 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
     wave completes nothing at all (then everyone is charged, which
     bounds the total number of waves even under a 100% crash rate).
     """
-    payloads = [(asdict(p), disk_dir, cache, degrade, collect_telemetry)
+    payloads = [(asdict(p), disk_dir, cache, degrade, collect_telemetry,
+                 locality)
                 for p in points]
     results: List[Optional[BatchResult]] = [None] * len(points)
     attempts = [0] * len(points)

@@ -125,7 +125,187 @@ def format_profile_table(result) -> str:
             f"mean/set={cs['mean_per_set']:.1f}"
             + (f" [{top}]" if top else "")
         )
+    if getattr(result, "locality", None):
+        lines.append("")
+        lines.append(format_locality_table(result.locality))
     return "\n".join(lines)
+
+
+def format_locality_table(loc: Mapping) -> str:
+    """Fixed-width rendering of one locality report
+    (:meth:`repro.machine.locality.LocalityReport.as_dict`): per-array
+    reuse-distance summaries with p50/p95/max columns, the set-pressure
+    distribution, and the phase×array heatmap as a count matrix."""
+    lines: List[str] = [
+        f"locality: line={loc['line_bytes']}B nsets={loc['nsets']}"
+    ]
+    reuse = loc.get("reuse") or {}
+    if reuse:
+        header = (
+            f"{'array':16s} {'accesses':>9s} {'cold':>7s} "
+            f"{'p50':>7s} {'p95':>7s} {'max':>7s}  reuse-distance hist"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(reuse):
+            r = reuse[name]
+            hist = " ".join(
+                f"{k}:{v}" for k, v in (r.get("hist") or {}).items()
+            )
+            lines.append(
+                f"{name:16s} {r['accesses']:>9d} {r['cold']:>7d} "
+                f"{r['p50']:>7.1f} {r['p95']:>7.1f} {r['max']:>7d}  {hist}"
+            )
+    sp = loc.get("set_pressure") or {}
+    if sp:
+        hist = " ".join(f"{k}:{v}" for k, v in (sp.get("hist") or {}).items())
+        lines.append(
+            f"set pressure: {sp['used']}/{sp['nsets']} sets used, "
+            f"max={sp['max']} mean={sp['mean']:.2f} p95={sp['p95']:.1f}"
+            + (f"  [{hist}]" if hist else "")
+        )
+    hm = loc.get("heatmap") or {}
+    if hm.get("phases"):
+        arrays = hm["arrays"]
+        corner = "phase \\ array"
+        header = f"{corner:16s}" + "".join(f"{a:>10s}" for a in arrays)
+        lines.append(header)
+        for phase, row in zip(hm["phases"], hm["counts"]):
+            lines.append(
+                f"{phase:16s}" + "".join(f"{c:>10d}" for c in row)
+            )
+    return "\n".join(lines)
+
+
+def format_hotspot_table(hot: Mapping, top: int = 15) -> str:
+    """Ranked self-time table of one hotspot profile
+    (:meth:`repro.obs.hotspot.HotspotReport.as_dict`), followed by the
+    per-module and per-package self-time rollups.  All orderings are
+    deterministic (self-time descending, key ascending tie-break; the
+    rollups re-sort the name-sorted dicts the same way)."""
+    lines: List[str] = [
+        f"hotspots: wall={hot['wall_s']:.3f}s samples={hot['samples']} "
+        f"interval={hot['interval']} ticks={hot['ticks']}"
+    ]
+    header = (
+        f"{'function':58s} {'self ms':>9s} {'cum ms':>9s} {'n':>6s} "
+        f"{'p50 ms':>8s} {'p95 ms':>8s} {'max ms':>8s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for f in hot["functions"][:top]:
+        lines.append(
+            f"{f['key']:58s} {f['self_s'] * 1e3:9.2f} "
+            f"{f['cum_s'] * 1e3:9.2f} {f['self_samples']:>6d} "
+            f"{f['self_p50'] * 1e3:8.3f} {f['self_p95'] * 1e3:8.3f} "
+            f"{f['self_max'] * 1e3:8.3f}"
+        )
+    modules = hot.get("modules") or {}
+    if modules:
+        lines.append("")
+        lines.append(f"{'module (self-time rollup)':58s} {'self ms':>9s}")
+        ranked = sorted(modules.items(), key=lambda kv: (-kv[1], kv[0]))
+        for mod, s in ranked:
+            lines.append(f"{mod:58s} {s * 1e3:9.2f}")
+        # Top-level package rollup: machine/* vs pipeline/* vs ... — the
+        # coarse answer to "is the simulator or the compiler the cost".
+        pkgs: Dict[str, float] = {}
+        for mod, s in modules.items():
+            pkg = mod.split("/", 1)[0] if "/" in mod else mod
+            pkgs[pkg] = pkgs.get(pkg, 0.0) + s
+        lines.append("")
+        lines.append(f"{'package':58s} {'self ms':>9s}")
+        for pkg, s in sorted(pkgs.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"{pkg:58s} {s * 1e3:9.2f}")
+    return "\n".join(lines)
+
+
+def hotspots_html(payload: Mapping) -> str:
+    """Self-contained HTML rendering of a ``repro hotspots`` payload:
+    the ranked function table plus one phase×array heatmap per grid
+    point, cells shaded by access count.  Deterministic: content is a
+    pure function of the payload, iteration orders are sorted."""
+    import html as _html
+
+    def esc(x) -> str:
+        return _html.escape(str(x))
+
+    parts: List[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>repro hotspots</title><style>"
+        "body{font-family:monospace;margin:1.5em}"
+        "table{border-collapse:collapse;margin:0.8em 0}"
+        "td,th{border:1px solid #999;padding:2px 8px;text-align:right}"
+        "th{background:#eee}td.l,th.l{text-align:left}"
+        "h2{margin-top:1.2em}</style></head><body>",
+        "<h1>repro hotspots</h1>",
+    ]
+    hot = payload.get("hotspots")
+    if hot:
+        wall = "{:.3f}".format(hot["wall_s"])
+        parts.append(
+            f"<p>wall={esc(wall)}s samples={esc(hot['samples'])} "
+            f"interval={esc(hot['interval'])}</p>"
+        )
+        parts.append(
+            "<h2>self-time ranking</h2><table><tr><th class='l'>function"
+            "</th><th>self ms</th><th>cum ms</th><th>samples</th></tr>"
+        )
+        for f in hot["functions"]:
+            parts.append(
+                f"<tr><td class='l'>{esc(f['key'])}</td>"
+                f"<td>{f['self_s'] * 1e3:.2f}</td>"
+                f"<td>{f['cum_s'] * 1e3:.2f}</td>"
+                f"<td>{f['self_samples']}</td></tr>"
+            )
+        parts.append("</table>")
+    for point in payload.get("points", []):
+        loc = point.get("locality") or {}
+        hm = loc.get("heatmap") or {}
+        if not hm.get("phases"):
+            continue
+        label = (f"{point['app']} / {point['scheme']} / "
+                 f"P={point['nprocs']}")
+        parts.append(f"<h2>heatmap: {esc(label)}</h2>")
+        peak = max(
+            (c for row in hm["counts"] for c in row), default=0
+        )
+        parts.append(
+            "<table><tr><th class='l'>phase \\ array</th>"
+            + "".join(f"<th>{esc(a)}</th>" for a in hm["arrays"])
+            + "</tr>"
+        )
+        for phase, row in zip(hm["phases"], hm["counts"]):
+            cells = []
+            for c in row:
+                # Shade by relative access count (deterministic alpha).
+                alpha = c / peak if peak else 0.0
+                cells.append(
+                    f"<td style='background:rgba(178,34,34,{alpha:.3f})"
+                    f"'>{c}</td>"
+                )
+            parts.append(
+                f"<tr><td class='l'>{esc(phase)}</td>"
+                + "".join(cells) + "</tr>"
+            )
+        parts.append("</table>")
+        reuse = loc.get("reuse") or {}
+        if reuse:
+            parts.append(
+                "<table><tr><th class='l'>array</th><th>accesses</th>"
+                "<th>cold</th><th>p50</th><th>p95</th><th>max</th></tr>"
+            )
+            for name in sorted(reuse):
+                r = reuse[name]
+                parts.append(
+                    f"<tr><td class='l'>{esc(name)}</td>"
+                    f"<td>{r['accesses']}</td><td>{r['cold']}</td>"
+                    f"<td>{r['p50']:.1f}</td><td>{r['p95']:.1f}</td>"
+                    f"<td>{r['max']}</td></tr>"
+                )
+            parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts)
 
 
 def profile_as_dict(result) -> Dict:
@@ -153,6 +333,10 @@ def profile_as_dict(result) -> Dict:
         "numa": dict(result.numa) if result.numa else None,
         "conflict_sets": (
             dict(result.conflict_sets) if result.conflict_sets else None
+        ),
+        "locality": (
+            dict(result.locality)
+            if getattr(result, "locality", None) else None
         ),
     }
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -44,3 +46,69 @@ class TestCli:
     def test_unknown_app(self):
         with pytest.raises(SystemExit):
             main(["decompose", "nosuchapp"])
+
+
+class TestProfileErrors:
+    def test_bad_app(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "nosuchapp", "--n", "8"])
+
+    def test_bad_scheme_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "simple", "--scheme", "bogus"])
+
+    def test_json_to_nonexistent_dir(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "out.json"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(["profile", "simple", "--n", "8", "--procs", "2",
+                  "--json", str(missing)])
+
+    def test_trace_output_to_nonexistent_dir(self, tmp_path):
+        missing = tmp_path / "absent" / "trace.json"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(["profile", "simple", "--n", "8", "--procs", "2",
+                  "-o", str(missing)])
+
+    def test_json_dash_to_stdout(self, capsys):
+        assert main(["profile", "simple", "--n", "8", "--procs", "2",
+                     "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        start = out.index('{\n  "arrays"')
+        payload = json.loads(out[start:out.rindex("}") + 1])
+        assert payload["scheme"]
+        assert payload["locality"]["reuse"]
+
+
+class TestHotspotsErrors:
+    _FAST = ["--n", "8", "--repeats", "1", "--apps", "simple",
+             "--schemes", "base", "--procs-list", "1"]
+
+    def test_bad_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["hotspots", "--apps", "nosuchapp"])
+
+    def test_bad_scheme(self):
+        with pytest.raises(SystemExit, match="unknown scheme"):
+            main(["hotspots", "--schemes", "bogus"])
+
+    def test_empty_apps(self):
+        with pytest.raises(SystemExit, match="no apps"):
+            main(["hotspots", "--apps", ","])
+
+    def test_json_to_nonexistent_dir(self, tmp_path):
+        missing = tmp_path / "no" / "dir" / "hot.json"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(["hotspots", *self._FAST, "--json", str(missing)])
+
+    def test_html_to_nonexistent_dir(self, tmp_path):
+        missing = tmp_path / "no" / "dir" / "hot.html"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(["hotspots", *self._FAST, "--html", str(missing)])
+
+    def test_json_dash_to_stdout(self, capsys):
+        assert main(["hotspots", *self._FAST, "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        start = out.index('{\n  "config"')
+        payload = json.loads(out[start:out.rindex("}") + 1])
+        assert payload["hotspots"]["samples"] > 0
+        assert payload["points"][0]["locality"]

@@ -1,0 +1,270 @@
+"""The sampling profiler: attribution, determinism, the strict
+disabled path, report ordering, obs round-trip, and the CLI.
+
+The overhead guard mirrors ``tests/test_obs.py``: while no profiler is
+started, the repro hot path must run within 5% of a floor measured the
+same way — the profiler installs nothing (``sys.getprofile()`` stays
+untouched), so the only honest difference is timer noise.
+"""
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.apps import simple
+from repro.compiler import Scheme, compile_all
+from repro.machine import scaled_dash
+from repro.machine.simulate import simulate
+from repro.obs import hotspot
+from repro.obs.hotspot import (
+    DEFAULT_INTERVAL,
+    EXTERNAL,
+    HotspotProfiler,
+    HotspotReport,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    from repro import pipeline
+
+    obs.disable()
+    obs.reset()
+    pipeline.reset_session()
+    assert sys.getprofile() is None
+    yield
+    assert sys.getprofile() is None, "profiler hook leaked"
+    obs.disable()
+    obs.reset()
+    pipeline.reset_session()
+
+
+def _workload():
+    """Small compile+simulate run; fresh program defeats memoization."""
+    prog = simple.build(n=12, time_steps=2)
+    compiled = compile_all(prog, nprocs=4)
+    machine = scaled_dash(4, scale=32, word_bytes=8)
+    return simulate(compiled.by_scheme(Scheme.COMP_DECOMP_DATA), machine)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestLifecycle:
+    def test_start_stop_restores_hook(self):
+        prof = HotspotProfiler()
+        assert sys.getprofile() is None
+        prof.start()
+        assert sys.getprofile() is not None
+        assert hotspot.active() is prof
+        report = prof.stop()
+        assert sys.getprofile() is None
+        assert hotspot.active() is None
+        assert isinstance(report, HotspotReport)
+
+    def test_nested_prev_hook_restored(self):
+        marker = lambda *a: None
+        sys.setprofile(marker)
+        try:
+            with HotspotProfiler():
+                pass
+            assert sys.getprofile() is marker
+        finally:
+            sys.setprofile(None)
+
+    def test_double_start_and_stop_raise(self):
+        prof = HotspotProfiler().start()
+        try:
+            with pytest.raises(RuntimeError):
+                prof.start()
+        finally:
+            prof.stop()
+        with pytest.raises(RuntimeError):
+            prof.stop()
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            HotspotProfiler(interval=0)
+
+    def test_profile_context_manager(self):
+        with hotspot.profile() as p:
+            _workload()
+        assert p.report is not None
+        assert p.report.samples > 0
+
+
+class TestAttribution:
+    def test_repro_functions_attributed(self):
+        with hotspot.profile() as p:
+            _workload()
+        rep = p.report
+        keys = {f.key for f in rep.functions}
+        assert any(k.startswith("machine/") for k in keys)
+        assert any(k.startswith("pipeline/") or k.startswith("analysis/")
+                   for k in keys)
+        # Self time sums to the sampled wall time (every sample lands
+        # in exactly one self bucket, EXTERNAL included).
+        total_self = sum(f.self_s for f in rep.functions)
+        assert total_self <= rep.wall_s * 1.5
+        for f in rep.functions:
+            assert f.cum_s >= f.self_s - 1e-12 or f.key == EXTERNAL
+
+    def test_external_bucket(self):
+        def spin():
+            return sum(range(50))
+
+        with hotspot.profile() as p:
+            # Pure non-repro work: every sample must fall to EXTERNAL.
+            for _ in range(5000):
+                spin()
+        rep = p.report
+        assert rep.samples > 0
+        non_ext = [f for f in rep.functions if f.key != EXTERNAL]
+        assert sum(f.self_s for f in non_ext) <= rep.wall_s * 0.5
+
+    def test_ranking_deterministic_ordering(self):
+        with hotspot.profile() as p:
+            _workload()
+        fns = p.report.functions
+        ranks = [(-f.self_s, f.key) for f in fns]
+        assert ranks == sorted(ranks)
+        # as_dict carries the same order plus the module rollup.
+        d = p.report.as_dict(top=5)
+        assert [f["key"] for f in d["functions"]] == \
+               [f.key for f in fns[:5]]
+        assert list(d["modules"]) == sorted(d["modules"])
+
+    def test_module_rollup_sums_to_functions(self):
+        with hotspot.profile() as p:
+            _workload()
+        rep = p.report
+        assert sum(rep.by_module().values()) == pytest.approx(
+            sum(f.self_s for f in rep.functions))
+
+
+class TestDeterminism:
+    def test_fake_clock_exact_totals(self):
+        """With an injectable clock the recorded durations are exact:
+        sampling positions are tick-counted, so the same event stream
+        yields the same sample count and byte-identical attribution."""
+
+        def run_once():
+            t = [0.0]
+
+            def clock():
+                t[0] += 1.0
+                return t[0]
+
+            prof = HotspotProfiler(interval=3, clock=clock)
+            prof.start()
+            try:
+                prog = simple.build(n=8, time_steps=2)
+            finally:
+                rep = prof.stop()
+            return rep
+
+        a, b = run_once(), run_once()
+        assert a.samples == b.samples > 0
+        assert [(f.key, f.self_samples, f.cum_samples)
+                for f in a.functions] == \
+               [(f.key, f.self_samples, f.cum_samples)
+                for f in b.functions]
+        # Each sampled dt is exactly 1.0 fake seconds.
+        assert sum(f.self_s for f in a.functions) == pytest.approx(
+            float(a.samples))
+
+    def test_tick_counted_sampling_rate(self):
+        with hotspot.profile(interval=11) as p:
+            _workload()
+        rep = p.report
+        assert rep.interval == 11
+        # samples == floor(ticks / interval) exactly (pure tick count).
+        assert rep.samples == rep.ticks // 11
+
+
+class TestObsRoundTrip:
+    def test_to_obs_histograms(self):
+        with hotspot.profile() as p:
+            _workload()
+        rep = p.report
+        obs.enable(reset=True)
+        rep.to_obs()
+        hists = obs.collector().metrics.histograms
+        self_keys = [k for k in hists if k.startswith("hotspot.self_s.")]
+        assert self_keys
+        top = rep.functions[0]
+        h = hists[f"hotspot.self_s.{top.key}"]
+        assert h.count == top.self_samples
+        assert h.total == pytest.approx(top.self_s)
+
+    def test_to_obs_noop_when_disabled(self):
+        with hotspot.profile() as p:
+            _workload()
+        p.report.to_obs()  # must not raise, must not enable anything
+        assert not obs.enabled()
+
+
+class TestOverhead:
+    def test_disabled_path_under_5_percent(self):
+        """With no profiler started the hot path pays nothing: the
+        module installs no sys hooks, so the comparison is plain run
+        vs. plain run with the module imported and a profiler object
+        constructed (but never started)."""
+        _workload()  # warm imports and numpy caches
+
+        HotspotProfiler()  # constructed, never started
+        assert sys.getprofile() is None
+        with_module = _best_of(_workload)
+        floor = _best_of(_workload)
+        assert with_module <= floor * 1.05 + 0.005, (
+            f"disabled profiler overhead too high: {with_module:.4f}s "
+            f"vs floor {floor:.4f}s"
+        )
+
+
+class TestCli:
+    def test_hotspots_smoke_trace_in_top5(self, capsys, tmp_path):
+        """The CI guard's exact contract: on a small grid with repeats,
+        machine/trace.py is in the top-5 self-time ranking."""
+        from repro.__main__ import main
+
+        out_json = tmp_path / "hot.json"
+        out_html = tmp_path / "hot.html"
+        rc = main([
+            "hotspots", "--apps", "simple,stencil5",
+            "--schemes", "base,comp,data", "--procs-list", "1,4",
+            "--n", "16", "--repeats", "3",
+            "--expect-hot", "machine/trace.py",
+            "--json", str(out_json), "--html", str(out_html),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "expect-hot OK" in out
+        assert "machine/trace.py" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["hotspots"]["samples"] > 0
+        assert payload["points"]
+        assert payload["points"][0]["locality"]["reuse"]
+        html = out_html.read_text()
+        assert "<html" in html and "heatmap" in html
+
+    def test_hotspots_expect_hot_failure(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        rc = main([
+            "hotspots", "--apps", "simple", "--schemes", "base",
+            "--procs-list", "1", "--n", "8", "--repeats", "1",
+            "--expect-hot", "no/such/module.py",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "no/such/module.py" in err
