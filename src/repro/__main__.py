@@ -141,6 +141,39 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
                    help="disk cache directory (implies --cache)")
 
 
+def _add_store_flags(p: argparse.ArgumentParser,
+                     expect: bool = False) -> None:
+    p.add_argument("--incremental", action="store_true",
+                   help="serve points whose program/machine/model key "
+                        "is unchanged from the persistent result store; "
+                        "execute (and store) only the rest")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="result-store directory (default: "
+                        "$REPRO_STORE_DIR or ~/.cache/repro/results; "
+                        "enables store write-back)")
+    if expect:
+        p.add_argument("--expect-incremental", type=_nonneg_int,
+                       default=None, metavar="N",
+                       help="exit nonzero unless exactly N points "
+                            "executed, the rest served from the store "
+                            "(implies --incremental; CI guard)")
+
+
+def _result_store(args):
+    """The (store, incremental) pair selected by the store flags;
+    ``(None, False)`` when no store surface was requested."""
+    from repro.pipeline.store import ResultStore, resolve_store_dir
+
+    incremental = bool(
+        getattr(args, "incremental", False)
+        or getattr(args, "expect_incremental", None) is not None
+    )
+    store_dir = getattr(args, "store_dir", None)
+    if not (incremental or store_dir):
+        return None, False
+    return ResultStore(resolve_store_dir(store_dir)), incremental
+
+
 def cmd_list(args) -> int:
     print("benchmark programs (repro.apps):")
     for name, mod in sorted(ALL_APPS.items()):
@@ -352,9 +385,9 @@ def cmd_hotspots(args) -> int:
     """``python -m repro hotspots``: sample the compile+simulate hot
     path over a grid and report self/cumulative time per function plus
     the locality analytics of every point."""
-    from repro.machine import scaled_dash
     from repro.machine.simulate import simulate
     from repro.obs.hotspot import HotspotProfiler
+    from repro.pipeline.grid import GridSpec, point_machine, point_program
     from repro.report import (
         format_hotspot_table,
         format_locality_table,
@@ -364,21 +397,31 @@ def cmd_hotspots(args) -> int:
     apps, schemes = _grid_args(args)
     _apply_session_args(args)
 
+    # One enumeration shared with batch/bench/verify; programs repeat
+    # across a grid's schemes/procs, so builds are memoized per app.
+    spec = GridSpec(
+        apps=tuple(apps), schemes=tuple(s.value for s in schemes),
+        procs=tuple(args.procs_list), n=args.n,
+        time_steps=args.time_steps, scale=args.scale,
+    )
+    progs = {}
     points = []
     profiler = HotspotProfiler(interval=args.interval)
     profiler.start()
     try:
-        for app in apps:
-            prog = _build(app, args.n, args.time_steps)
-            word = min(d.element_size for d in prog.arrays.values())
-            for scheme in schemes:
-                for p in args.procs_list:
-                    machine = scaled_dash(p, scale=args.scale,
-                                          word_bytes=word)
-                    spmd = compile_program(prog, scheme, p)
-                    for _ in range(args.repeats):
-                        res = simulate(spmd, machine)
-                    points.append((app, scheme, p, spmd, machine, res))
+        for point in spec.points():
+            if point.app not in progs:
+                try:
+                    progs[point.app] = point_program(point)
+                except ValueError as exc:
+                    raise SystemExit(str(exc))
+            prog = progs[point.app]
+            machine = point_machine(point, prog)
+            spmd = compile_program(prog, parse_scheme(point.scheme),
+                                   point.nprocs)
+            for _ in range(args.repeats):
+                res = simulate(spmd, machine)
+            points.append((point, spmd, machine, res))
     finally:
         report = profiler.stop()
 
@@ -386,12 +429,12 @@ def cmd_hotspots(args) -> int:
     # O(n log n) Python-side work that would otherwise drown out the
     # production hot path they are meant to explain.
     out_points = []
-    for app, scheme, p, spmd, machine, res in points:
+    for point, spmd, machine, res in points:
         loc = simulate(spmd, machine, locality=True).locality
         out_points.append({
-            "app": app,
-            "scheme": scheme.value,
-            "nprocs": p,
+            "app": point.app,
+            "scheme": parse_scheme(point.scheme).value,
+            "nprocs": point.nprocs,
             "total_time": res.total_time,
             "n_accesses": res.n_accesses,
             "locality": loc,
@@ -469,14 +512,20 @@ def cmd_verify(args) -> int:
     if not schemes:
         raise SystemExit("no schemes selected")
 
+    store, _ = _result_store(args)
     results = verify_grid(apps, schemes, args.procs_list,
                           n=args.n, time_steps=args.time_steps,
-                          session=session)
+                          session=session, store=store)
     print(format_verify_table(
         results,
         title=f"semantic verification (n={args.n}, "
               f"procs={','.join(str(p) for p in args.procs_list)})",
     ))
+    if store is not None:
+        st = store.stats_dict()
+        print(f"result store: {st['hits']} verdicts served, "
+              f"{st['misses']} verified live "
+              f"({st['entries']} entries, {st['bytes']} bytes)")
     if grid_ok(results):
         print("ALL OK")
         return 0
@@ -511,6 +560,8 @@ def cmd_batch(args) -> int:
             disk = Path("~/.cache/repro").expanduser()
         disk_dir = str(disk) if disk is not None else None
 
+    store, incremental = _result_store(args)
+
     saved_faults = os.environ.get(faults.ENV_FLAG)
     if args.inject_faults is not None:
         try:
@@ -535,6 +586,7 @@ def cmd_batch(args) -> int:
             backoff=args.backoff, degrade=not args.no_degrade,
             collect_telemetry=collect,
             locality=bool(args.json),
+            store=store, incremental=incremental,
         )
     finally:
         if args.inject_faults is not None:
@@ -554,7 +606,7 @@ def cmd_batch(args) -> int:
     for r in results:
         p = r.point
         if r.ok:
-            status = "ok"
+            status = "ok (store)" if r.store_hit else "ok"
             if r.degraded:
                 first = (r.degrade_reason or "?").strip().splitlines()[0]
                 status = f"ok (degraded to base: {first})"
@@ -578,6 +630,14 @@ def cmd_batch(args) -> int:
           f"(total {agg['total_pass_runs']})")
     print(f"cache hits: {hits or 'none'}")
     print(f"fully cached: {'yes' if agg['fully_cached'] else 'no'}")
+    if store is not None:
+        st = store.stats_dict()
+        print(f"result store: {agg['store_hits']} served, "
+              f"{agg['executed']} executed "
+              f"(hits {st['hits']}, misses {st['misses']}, "
+              f"invalidations {st['invalidations']}, "
+              f"evictions {st['evictions']}, "
+              f"{st['entries']} entries, {st['bytes']} bytes)")
 
     if args.trace_out and merged is not None:
         merged.write(args.trace_out)
@@ -589,6 +649,8 @@ def cmd_batch(args) -> int:
     if args.json:
         payload = {"summary": agg,
                    "results": [r.as_dict() for r in results]}
+        if store is not None:
+            payload["store"] = store.stats_dict()
         if merged is not None:
             payload["telemetry"] = _batch_telemetry(merged, agg)
         with open(args.json, "w") as fh:
@@ -598,6 +660,13 @@ def cmd_batch(args) -> int:
     rc = 1 if agg["errors"] else 0
     if args.expect_cached and not agg["fully_cached"]:
         print("error: --expect-cached but passes executed",
+              file=sys.stderr)
+        rc = 1
+    if args.expect_incremental is not None \
+            and agg["executed"] != args.expect_incremental:
+        print(f"error: --expect-incremental {args.expect_incremental} "
+              f"but {agg['executed']} points executed "
+              f"({agg['store_hits']} served from the store)",
               file=sys.stderr)
         rc = 1
     if args.verify:
@@ -861,6 +930,7 @@ def main(argv=None) -> int:
                         "fast)")
     p.add_argument("--time-steps", type=_positive_int, default=None)
     _add_cache_flags(p)
+    _add_store_flags(p)
 
     p = sub.add_parser(
         "batch",
@@ -909,6 +979,7 @@ def main(argv=None) -> int:
                    help="exit nonzero unless the whole grid was served "
                         "from the cache (CI warm-run guard)")
     _add_cache_flags(p)
+    _add_store_flags(p, expect=True)
 
     p = sub.add_parser(
         "bench",

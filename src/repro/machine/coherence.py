@@ -194,12 +194,19 @@ class ExactCoherentSim:
     processor's copy of the line.  Sharing misses are split true/false
     by whether any invalidating write since this processor's last touch
     hit the word now being accessed.
+
+    ``l2`` optionally models the private second-level cache with the
+    same semantics as :func:`classify_accesses`: inclusive, updated on
+    every reference, invalidated (both levels) by remote writes; a
+    first-level miss whose line survives there is an ``l2_hit``.
     """
 
-    def __init__(self, nprocs: int, cfg: CacheConfig, word_bytes: int = 8):
+    def __init__(self, nprocs: int, cfg: CacheConfig, word_bytes: int = 8,
+                 l2: "CacheConfig | None" = None):
         self.nprocs = nprocs
         self.cfg = cfg
         self.word_bytes = word_bytes
+        self.l2 = l2
 
     def run(
         self, proc: np.ndarray, addr: np.ndarray, write: np.ndarray
@@ -221,7 +228,11 @@ class ExactCoherentSim:
         tshare = np.zeros(n, dtype=bool)
         fshare = np.zeros(n, dtype=bool)
         upgrade = np.zeros(n, dtype=bool)
+        l2_hit = np.zeros(n, dtype=bool)
         last_touch_any: Dict[int, int] = {}
+        # Second-level tag state, mirroring the L1 structures.
+        l2cache: Dict[Tuple[int, int], int] = {}
+        l2valid: Dict[Tuple[int, int], bool] = {}
 
         for i in range(n):
             p = int(proc[i])
@@ -256,8 +267,16 @@ class ExactCoherentSim:
                         fshare[i] = True
                 else:
                     repl[i] = True
+                if self.l2 is not None:
+                    k2 = (p, ln % self.l2.nsets)
+                    if l2cache.get(k2) == ln and l2valid.get(k2, False):
+                        l2_hit[i] = True
                 cache[key] = ln
                 valid[key] = True
+            if self.l2 is not None:
+                k2 = (p, ln % self.l2.nsets)
+                l2cache[k2] = ln
+                l2valid[k2] = True
             touched.add((p, ln))
             last_touch[(p, ln)] = i
             last_touch_any[ln] = i
@@ -268,9 +287,14 @@ class ExactCoherentSim:
                 for q in range(self.nprocs):
                     if q == p:
                         continue
-                    k2 = (q, st)
-                    if cache.get(k2) == ln and valid.get(k2, False):
-                        valid[k2] = False
+                    kq = (q, st)
+                    if cache.get(kq) == ln and valid.get(kq, False):
+                        valid[kq] = False
+                    if self.l2 is not None:
+                        kq2 = (q, ln % self.l2.nsets)
+                        if (l2cache.get(kq2) == ln
+                                and l2valid.get(kq2, False)):
+                            l2valid[kq2] = False
         return AccessClassification(
             hit=hit,
             cold=cold,
@@ -278,4 +302,5 @@ class ExactCoherentSim:
             true_sharing=tshare,
             false_sharing=fshare,
             upgrade=upgrade,
+            l2_hit=l2_hit,
         )

@@ -11,7 +11,9 @@ at DASH's 1:30:100.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.machine.cache import CacheConfig
@@ -37,6 +39,23 @@ class DashConfig:
 
     def with_procs(self, nprocs: int) -> "DashConfig":
         return replace(self, nprocs=nprocs)
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 over the full machine geometry.
+
+        Covers everything the simulator reads — processor count, cache
+        and L2 geometry, NUMA homing parameters, every cost-model
+        latency, and the word size — so two configs share a fingerprint
+        iff they are behaviourally identical.  The persistent result
+        store keys on it, and ``repro diff`` uses it to attribute run
+        divergences to machine-config changes.
+        """
+        payload = asdict(self)
+        h = hashlib.sha256()
+        h.update(b"dash-config-v1\x1f")
+        h.update(json.dumps(payload, sort_keys=True,
+                            default=repr).encode("utf-8"))
+        return h.hexdigest()
 
     def with_l2(self, size_bytes: Optional[int] = None) -> "DashConfig":
         """Add a private L2 (default: 4x the L1, DASH's 64KB:256KB

@@ -244,7 +244,10 @@ def _simulate_impl(
         nsets = machine.cache.nsets
         rsets = (addr[cls.replacement] // machine.cache.line_bytes) % nsets
         occ = np.bincount(rsets, minlength=nsets)
-        top = np.argsort(occ)[::-1][:8]
+        # Rank by (-count, set index): plain argsort[::-1] orders
+        # equal-count sets by *descending* index, which made stored
+        # results and snapshots byte-unstable across numpy sort quirks.
+        top = np.lexsort((np.arange(len(occ)), -occ))[:8]
         conflict = {
             "nsets": int(nsets),
             "replacement_misses": int(occ.sum()),

@@ -112,17 +112,18 @@ def _percentile(samples: Sequence[float], q: float) -> float:
     return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
 
 
-def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
-                 repeats: int) -> Dict[str, Any]:
+def _bench_point(session, point, prog, repeats: int) -> Dict[str, Any]:
+    """Measure one grid coordinate (a
+    :class:`~repro.pipeline.grid.GridPoint`) on the shared engine's
+    program/machine mapping."""
     from repro.codegen.emit_optimized import emit_optimized_program
-    from repro.codegen.spmd import scheme_short_name
-    from repro.machine import scaled_dash
+    from repro.codegen.spmd import parse_scheme
     from repro.machine.simulate import simulate
+    from repro.pipeline.grid import point_machine
 
-    machine = scaled_dash(
-        nprocs, scale=scale,
-        word_bytes=min(d.element_size for d in prog.arrays.values()),
-    )
+    scheme = parse_scheme(point.scheme)
+    nprocs = point.nprocs
+    machine = point_machine(point, prog)
     # Compile once (timed), with a private collector capturing the
     # addressing-overhead counters the optimizer emits; the optimized
     # emitter is what exercises the div/mod strength reduction.
@@ -199,9 +200,14 @@ def _bench_point(session, app: str, prog, scheme, nprocs: int, scale: int,
         "modules": hot.by_module(),
     }
     return {
-        "app": app,
-        "scheme": scheme_short_name(scheme),
+        "app": point.app,
+        "scheme": point.scheme,
         "nprocs": nprocs,
+        # Machine geometry fingerprint (DashConfig.fingerprint).  Not
+        # under "sim", so the exact-match gate never reads it; `repro
+        # diff` uses it to attribute divergences to machine-config
+        # changes, and the result store keys on it.
+        "machine_fp": machine.fingerprint(),
         "compile_s": compile_s,
         "wall": {
             "repeats": repeats,
@@ -235,8 +241,8 @@ def run_bench(
     harness uses private collectors to read compiler counters without
     polluting — or being polluted by — whatever the caller records).
     """
-    from repro.apps import build_app
     from repro.codegen.spmd import parse_scheme, scheme_short_name
+    from repro.pipeline.grid import GridSpec, point_program
     from repro.pipeline.session import CompileSession
 
     if repeats < 1:
@@ -246,14 +252,22 @@ def run_bench(
     saved_enabled = _obs_core._enabled
     saved_collector = _obs_core._collector
     points: List[Dict[str, Any]] = []
+    # The shared engine enumerates the grid; programs are built once
+    # per app (they repeat across schemes/procs).
+    spec = GridSpec(
+        apps=tuple(apps),
+        schemes=tuple(scheme_short_name(s) for s in parsed),
+        procs=tuple(procs),
+        n=n, time_steps=time_steps, scale=scale,
+    )
+    progs: Dict[str, Any] = {}
     try:
         obs.disable()
-        for app in apps:
-            prog = build_app(app, n=n, time_steps=time_steps)
-            for scheme in parsed:
-                for p in procs:
-                    points.append(_bench_point(
-                        session, app, prog, scheme, p, scale, repeats))
+        for point in spec.points():
+            if point.app not in progs:
+                progs[point.app] = point_program(point)
+            points.append(_bench_point(
+                session, point, progs[point.app], repeats))
     finally:
         _obs_core._collector = saved_collector
         _obs_core._enabled = saved_enabled

@@ -263,6 +263,20 @@ def summary(collector: Optional[Collector] = None, max_events: int = 20) -> str:
                 render(s, 1)
 
     snap = c.metrics.snapshot()
+    store_counters = {
+        k: v for k, v in snap["counters"].items()
+        if k.startswith("store.")
+    }
+    if store_counters or "store.bytes" in snap["gauges"]:
+        # The persistent result store gets its own section: hit/miss/
+        # invalidation health is the first thing an incremental-run
+        # investigation reads.
+        lines.append("result store:")
+        for k, v in store_counters.items():
+            lines.append(f"  {k:<40s}{v:>12g}")
+        if "store.bytes" in snap["gauges"]:
+            lines.append(
+                f"  {'store.bytes':<40s}{snap['gauges']['store.bytes']:>12g}")
     if snap["counters"]:
         lines.append("counters:")
         for k, v in snap["counters"].items():

@@ -406,9 +406,9 @@ def _flatten(prefix: str, obj: Any, out: Dict[str, float]) -> None:
 
 def normalize_run(data: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     """Normalize either run format to ``{point key: {"metrics": {...},
-    "provenance": [record dicts]}}``.  Metrics are flat name -> number;
-    wall times get a ``wall.`` prefix so the diff can treat them as
-    noisy."""
+    "provenance": [record dicts], "machine_fp": str | None}}``.
+    Metrics are flat name -> number; wall times get a ``wall.`` prefix
+    so the diff can treat them as noisy."""
     out: Dict[str, Dict[str, Any]] = {}
     if "points" in data:  # bench snapshot
         for p in data.get("points") or []:
@@ -419,6 +419,7 @@ def normalize_run(data: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
             out[key] = {
                 "metrics": metrics,
                 "provenance": list(p.get("provenance") or []),
+                "machine_fp": p.get("machine_fp"),
             }
         return out
     if "results" in data:  # batch --json
@@ -474,6 +475,18 @@ def diff_runs(run_a: Dict[str, Any], run_b: Dict[str, Any]) -> RunDiff:
         if not deltas:
             continue
         pd = PointDiff(key=key, deltas=deltas)
+        fa = a[key].get("machine_fp")
+        fb = b[key].get("machine_fp")
+        if fa and fb and fa != fb:
+            # Different simulated-machine geometry: the runs measured
+            # different machines, so no compiler decision is to blame.
+            pd.note = (
+                "machine fingerprint differs "
+                f"({fa[:12]}.. vs {fb[:12]}..); divergence attributed "
+                "to a machine-config change, not a compiler decision"
+            )
+            diff.points.append(pd)
+            continue
         pa, pb = a[key]["provenance"], b[key]["provenance"]
         if not pa and not pb:
             pd.note = "no provenance recorded in either run; cannot attribute"

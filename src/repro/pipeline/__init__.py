@@ -10,8 +10,15 @@ pipeline; :mod:`repro.compiler` keeps the historical
 ``compile_program`` / ``compile_all`` / ``restructure_program``
 signatures as thin wrappers over the process-wide default session.
 
-:mod:`repro.pipeline.batch` fans grids of ``(app, scheme, nprocs)``
-points across a process pool with per-point error isolation.
+:mod:`repro.pipeline.grid` is the shared grid engine — one
+enumeration (:class:`~repro.pipeline.grid.GridSpec`) and one hardened
+wave executor fanning ``(app, scheme, nprocs)`` points across a
+process pool with per-point error isolation — consumed by ``repro
+batch`` (via the :mod:`repro.pipeline.batch` facade), the benchmark
+harness, and the verifier.  :mod:`repro.pipeline.store` persists each
+point's result under a content-addressed key (program x scheme x
+procs x machine x model version) so incremental reruns execute only
+what changed.
 """
 
 from repro.pipeline.cache import MISS, ArtifactCache, CacheStats, resolve_disk_dir
@@ -20,7 +27,24 @@ from repro.pipeline.fingerprint import (
     fingerprint_program,
     make_key,
 )
+from repro.pipeline.grid import (
+    GridPoint,
+    GridResult,
+    GridSpec,
+    execute_grid,
+    make_grid,
+    point_key,
+    point_machine,
+    point_program,
+    run_grid,
+)
 from repro.pipeline.manager import PassManager
+from repro.pipeline.store import (
+    MODEL_VERSION,
+    ResultStore,
+    StoreStats,
+    resolve_store_dir,
+)
 from repro.pipeline.passes import (
     ALL_PASSES,
     ART_DECOMPOSITION,
@@ -52,6 +76,19 @@ __all__ = [
     "fingerprint_program",
     "fingerprint_decomposition",
     "make_key",
+    "GridPoint",
+    "GridResult",
+    "GridSpec",
+    "execute_grid",
+    "make_grid",
+    "point_key",
+    "point_machine",
+    "point_program",
+    "run_grid",
+    "MODEL_VERSION",
+    "ResultStore",
+    "StoreStats",
+    "resolve_store_dir",
     "PassManager",
     "Pass",
     "PassContext",

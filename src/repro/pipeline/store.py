@@ -1,0 +1,325 @@
+"""Persistent result store: simulation results as content-addressed data.
+
+The compiler side of the repo already treats computation as data —
+pass artifacts are keyed by SHA-256 content fingerprints and replayed
+from the cache.  This module extends the same model to *results*: a
+:class:`ResultStore` persists one JSON document per executed grid
+point, keyed by a SHA-256 digest over everything that determines the
+outcome —
+
+* the **program fingerprint** (IR content, including statement
+  bytecode — editing an app changes it);
+* the **scheme** and **processor count**;
+* the **machine fingerprint** (:meth:`repro.machine.dash.DashConfig.fingerprint`
+  — full cache/L2/NUMA/cost geometry);
+* the **model version** (:data:`MODEL_VERSION`, bumped whenever the
+  simulator's semantics change);
+* a ``kind`` namespace (``sim`` results, ``verify`` verdicts, ``bench``
+  detail blocks) plus any extra flags that shape the payload.
+
+A warm lookup therefore means "nothing that could change this result
+has changed" — the grid engine (:mod:`repro.pipeline.grid`) serves the
+stored result instead of re-executing the point, which is what makes
+``repro batch --incremental`` re-run only the rows of a grid whose
+program, machine, or model actually changed.
+
+Invalidation is tracked per *coordinate*: every entry records the
+human-readable grid coordinate it answers (``app/scheme/P4/n=16``…),
+and a small ``coords.json`` index maps each coordinate to its current
+key.  Storing a new key for a known coordinate deletes the stale entry
+and counts an **invalidation** — the observable difference between "new
+point" and "this app changed".
+
+Durability mirrors :mod:`repro.pipeline.cache`: atomic writes (temp
+file + rename), corrupt entries treated as misses and deleted, never an
+exception out of a read, and an entry-count cap with oldest-first
+eviction (like the quarantine cap).  Counters flow both into
+:class:`StoreStats` (always on) and ``repro.obs`` (``store.*``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+from repro import obs
+from repro.pipeline.fingerprint import make_key
+
+__all__ = [
+    "MODEL_VERSION",
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "StoreStats",
+    "resolve_store_dir",
+    "result_key",
+]
+
+SCHEMA_VERSION = 1
+
+# Version of the simulated-machine model the stored results were
+# produced by.  Bump on any semantic change to the simulator (miss
+# classification, cost model, trace generation): every stored result is
+# then unreachable and the next run repopulates the store.
+MODEL_VERSION = "sim-v1"
+
+# Entry-count cap (oldest evicted first), in the spirit of
+# repro.pipeline.cache.QUARANTINE_KEEP: bound the on-disk footprint,
+# keep the most recently useful evidence.
+DEFAULT_KEEP = 4096
+
+ENV_DIR = "REPRO_STORE_DIR"
+_INDEX_NAME = "coords.json"
+
+
+def resolve_store_dir(explicit: Optional[str] = None) -> Path:
+    """The result-store directory: an explicit path, ``$REPRO_STORE_DIR``,
+    or the default ``~/.cache/repro/results``."""
+    if explicit:
+        return Path(explicit).expanduser()
+    env_dir = os.environ.get(ENV_DIR)
+    if env_dir:
+        return Path(env_dir).expanduser()
+    return Path("~/.cache/repro/results").expanduser()
+
+
+def result_key(
+    program_fp: str,
+    scheme: str,
+    nprocs: int,
+    machine_fp: str,
+    model_version: str = MODEL_VERSION,
+    kind: str = "sim",
+    **extras: Any,
+) -> str:
+    """The SHA-256 store key of one grid point's result."""
+    parts = [
+        "result", kind, model_version, program_fp, scheme, str(nprocs),
+        machine_fp,
+    ]
+    for name in sorted(extras):
+        parts.append(f"{name}={extras[name]}")
+    return make_key(parts)
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store instance (always on, like CacheStats)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "errors": self.errors,
+        }
+
+
+class ResultStore:
+    """Atomic on-disk JSON store of grid-point results.
+
+    The store is driver-side only: the grid engine consults it before
+    dispatching points and writes results back after execution, so
+    worker processes never touch it and no cross-process locking is
+    needed.
+    """
+
+    def __init__(self, root: os.PathLike, keep: int = DEFAULT_KEEP):
+        if keep <= 0:
+            raise ValueError("store keep cap must be positive")
+        self.root = Path(root).expanduser()
+        self.keep = keep
+        self.stats = StoreStats()
+        self._index: Optional[Dict[str, str]] = None
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _dir(self) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}"
+
+    def _path(self, key: str) -> Path:
+        return self._dir / key[:2] / f"{key}.json"
+
+    def _index_path(self) -> Path:
+        return self._dir / _INDEX_NAME
+
+    # -- coordinate index --------------------------------------------------
+
+    def _load_index(self) -> Dict[str, str]:
+        if self._index is not None:
+            return self._index
+        try:
+            with open(self._index_path()) as fh:
+                data = json.load(fh)
+            self._index = {str(k): str(v) for k, v in data.items()}
+        except (OSError, ValueError):
+            self._index = {}
+        return self._index
+
+    def _save_index(self) -> None:
+        if self._index is None:
+            return
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self._dir), suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self._index, fh, indent=0, sort_keys=True)
+            os.replace(tmp, self._index_path())
+        except OSError:
+            self.stats.errors += 1
+            obs.inc("store.errors")
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (truncated, garbage) is deleted, counted, and
+        reported as a miss — a read never raises.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+            if entry.get("key") != key:
+                raise ValueError("key mismatch")
+            payload = entry["payload"]
+        except OSError:
+            self.stats.misses += 1
+            obs.inc("store.misses")
+            return None
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            obs.inc("store.corrupt")
+            obs.inc("store.misses")
+            obs.event("store.corrupt", cat="store", key=key)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        obs.inc("store.hits")
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any],
+            coord: Optional[str] = None) -> None:
+        """Store ``payload`` under ``key`` (atomic; failures counted,
+        never raised).
+
+        ``coord`` is the grid coordinate this entry answers; when the
+        coordinate previously mapped to a *different* key, the stale
+        entry is deleted and counted as an invalidation.
+        """
+        path = self._path(key)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "coord": coord,
+            "payload": payload,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(entry, fh, sort_keys=True, default=str)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception as exc:
+            self.stats.errors += 1
+            obs.inc("store.errors")
+            obs.event("store.error", cat="store", op="put", key=key,
+                      error=type(exc).__name__)
+            return
+        self.stats.stores += 1
+        obs.inc("store.stores")
+        if coord is not None:
+            index = self._load_index()
+            stale = index.get(coord)
+            if stale is not None and stale != key:
+                self.stats.invalidations += 1
+                obs.inc("store.invalidations")
+                obs.event("store.invalidated", cat="store", coord=coord,
+                          old=stale, new=key)
+                try:
+                    os.unlink(self._path(stale))
+                except OSError:
+                    pass
+            if stale != key:
+                index[coord] = key
+                self._save_index()
+        self._evict()
+        obs.gauge("store.bytes").set(self.bytes())
+
+    # -- maintenance -------------------------------------------------------
+
+    def _entries(self) -> Iterable[Path]:
+        try:
+            return [p for p in self._dir.glob("??/*.json") if p.is_file()]
+        except OSError:
+            return []
+
+    def _evict(self) -> None:
+        """Drop oldest entries (by mtime) beyond the ``keep`` cap."""
+        entries = list(self._entries())
+        if len(entries) <= self.keep:
+            return
+        entries.sort(key=lambda p: p.stat().st_mtime, reverse=True)
+        index = self._load_index()
+        by_key = {v: k for k, v in index.items()}
+        changed = False
+        for stale in entries[self.keep:]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            obs.inc("store.evictions")
+            coord = by_key.get(stale.stem)
+            if coord is not None:
+                index.pop(coord, None)
+                changed = True
+        if changed:
+            self._save_index()
+
+    def __len__(self) -> int:
+        return len(list(self._entries()))
+
+    def bytes(self) -> int:
+        """Total on-disk size of stored entries (excluding the index)."""
+        total = 0
+        for p in self._entries():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def stats_dict(self) -> Dict[str, int]:
+        """JSON-ready statistics including the current footprint."""
+        out = self.stats.as_dict()
+        out["entries"] = len(self)
+        out["bytes"] = self.bytes()
+        return out

@@ -1,19 +1,27 @@
 """Grid driver for the verification oracle.
 
 Verifies ``app × scheme × nprocs`` coordinates at a small problem size:
-each point builds the app, compiles it through a
+the grid is enumerated by the shared
+:class:`~repro.pipeline.grid.GridSpec` engine, each point builds the
+app, compiles it through a
 :class:`~repro.pipeline.session.CompileSession` (so artifacts are shared
 across the grid exactly like a real run) and hands the plan to
 :func:`~repro.verify.oracle.verify_spmd`.  A point that fails to
 *compile* is reported as a failed point rather than aborting the grid.
+
+Give :func:`verify_grid` a persistent
+:class:`~repro.pipeline.store.ResultStore` and previously-verified
+points are served from it under their content-addressed ``verify`` key
+(program x scheme x procs x machine x model version): a warm
+``repro verify --incremental`` rerun executes no oracle work at all.
+Only *ok* verdicts are stored — a failure always re-runs live so its
+divergence trace is fresh.
 """
 
 from __future__ import annotations
 
-import itertools
 import traceback
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.verify.oracle import VerifyResult, verify_spmd
 
@@ -70,16 +78,61 @@ def verify_grid(
     n: Optional[int] = DEFAULT_VERIFY_N,
     time_steps: Optional[int] = None,
     session=None,
+    store=None,
 ) -> List[VerifyResult]:
     """Run the oracle over the full cartesian grid, sharing one compile
-    session so restructure/decompose artifacts are reused."""
+    session so restructure/decompose artifacts are reused.
+
+    With a ``store``, each point's verdict is looked up under its
+    ``verify`` key first and ok verdicts are written back — verified
+    points whose program/machine/model key is unchanged are served
+    without re-running the oracle.
+    """
+    from repro.codegen.spmd import parse_scheme
+    from repro.pipeline.grid import GridSpec, point_key
     from repro.pipeline.session import CompileSession
 
     session = session or CompileSession()
-    return [
-        verify_point(a, s, p, n=n, time_steps=time_steps, session=session)
-        for a, s, p in itertools.product(apps, schemes, procs)
-    ]
+    spec = GridSpec(
+        apps=tuple(apps),
+        schemes=tuple(getattr(s, "value", s) for s in schemes),
+        procs=tuple(procs),
+        n=n, time_steps=time_steps,
+    )
+    results: List[VerifyResult] = []
+    for point in spec.points():
+        scheme_name = parse_scheme(point.scheme).value
+        key = None
+        if store is not None:
+            try:
+                key = point_key(point, kind="verify")
+            except Exception:
+                # An unbuildable point cannot be keyed; verify_point
+                # below reports the compile failure as a failed result.
+                key = None
+        if key is not None:
+            payload = store.get(key)
+            if payload is not None:
+                results.append(VerifyResult(
+                    program=point.app,
+                    scheme=scheme_name,
+                    nprocs=point.nprocs,
+                    ok=True,
+                    phases_checked=int(payload.get("phases_checked", 0)),
+                    elements_checked=int(
+                        payload.get("elements_checked", 0)),
+                ))
+                continue
+        result = verify_point(point.app, point.scheme, point.nprocs,
+                              n=point.n, time_steps=point.time_steps,
+                              session=session)
+        if key is not None and result.ok:
+            store.put(key, {
+                "phases_checked": result.phases_checked,
+                "elements_checked": result.elements_checked,
+            }, coord=f"verify:{point.coord()}")
+        results.append(result)
+    return results
 
 
 def grid_ok(results: Sequence[VerifyResult]) -> bool:

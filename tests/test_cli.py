@@ -112,3 +112,68 @@ class TestHotspotsErrors:
         payload = json.loads(out[start:out.rindex("}") + 1])
         assert payload["hotspots"]["samples"] > 0
         assert payload["points"][0]["locality"]
+
+
+class TestIncrementalCli:
+    _GRID = ["--apps", "simple", "--schemes", "base,comp",
+             "--procs-list", "1,2", "--n", "8"]
+
+    def test_batch_cold_then_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["batch", *self._GRID, "--incremental",
+                     "--store-dir", store,
+                     "--expect-incremental", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "result store: 0 served, 4 executed" in out
+
+        assert main(["batch", *self._GRID, "--incremental",
+                     "--store-dir", store,
+                     "--expect-incremental", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "result store: 4 served, 0 executed" in out
+        assert "ok (store)" in out
+
+    def test_expect_incremental_mismatch_fails(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        rc = main(["batch", *self._GRID, "--incremental",
+                   "--store-dir", store, "--expect-incremental", "0"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "--expect-incremental 0" in err
+
+    def test_expect_incremental_implies_incremental(self, capsys,
+                                                    tmp_path):
+        # --expect-incremental alone turns the store lookup on.
+        store = str(tmp_path / "store")
+        main(["batch", *self._GRID, "--store-dir", store])
+        assert main(["batch", *self._GRID, "--store-dir", store,
+                     "--expect-incremental", "0"]) == 0
+
+    def test_batch_json_reports_store_stats(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        out_json = tmp_path / "batch.json"
+        assert main(["batch", *self._GRID, "--incremental",
+                     "--store-dir", store,
+                     "--json", str(out_json)]) == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["store"]["stores"] == 4
+        assert payload["summary"]["executed"] == 4
+        assert payload["summary"]["store_hits"] == 0
+
+    def test_negative_expect_incremental_rejected(self):
+        with pytest.raises(SystemExit) as ei:
+            main(["batch", *self._GRID, "--expect-incremental", "-1"])
+        assert ei.value.code == 2
+
+    def test_verify_incremental(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = ["verify", "--apps", "simple", "--schemes", "base,comp",
+                "--procs-list", "1,2", "--n", "6", "--incremental",
+                "--store-dir", store]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "result store: 0 verdicts served, 4 verified live" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "result store: 4 verdicts served, 0 verified live" in out
+        assert "ALL OK" in out

@@ -5,7 +5,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machine.cache import CacheConfig
+from repro.machine.cache import (
+    CacheConfig,
+    assoc_lru_hits,
+    direct_mapped_hits,
+)
 from repro.machine.coherence import (
     AccessClassification,
     ExactCoherentSim,
@@ -150,3 +154,62 @@ class TestEquivalence:
         assert c.true_sharing.sum() == 0
         assert c.false_sharing.sum() == 0
         assert c.upgrade.sum() == 0
+
+    @given(trace())
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    def test_fast_matches_exact_with_l2(self, t):
+        """With a second-level cache configured, the vectorized
+        classifier and the event simulation must also agree on which
+        first-level misses are absorbed by L2."""
+        nprocs, proc, addr, write = t
+        cfg = tiny_cfg()
+        l2 = CacheConfig(size_bytes=256, line_bytes=16)  # 16 sets
+        fast = classify_accesses(proc, addr, write, cfg, word_bytes=8,
+                                 l2=l2)
+        exact = ExactCoherentSim(nprocs, cfg, word_bytes=8, l2=l2).run(
+            proc, addr, write
+        )
+        for f in FIELDS + ["l2_hit"]:
+            assert np.array_equal(getattr(fast, f), getattr(exact, f)), f
+
+    @given(trace())
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_l2_hits_are_l1_misses(self, t):
+        nprocs, proc, addr, write = t
+        c = classify_accesses(proc, addr, write, tiny_cfg(),
+                              word_bytes=8,
+                              l2=CacheConfig(256, 16))
+        assert not (c.l2_hit & c.hit).any()
+        assert not (c.l2_hit & c.upgrade).any()
+
+
+class TestAssocLru:
+    @given(trace())
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    def test_assoc_one_is_direct_mapped(self, t):
+        """A 1-way LRU set is exactly a direct-mapped slot: the slow
+        reference and the vectorized fast path must agree flag-for-flag
+        on any interleaved multi-processor stream."""
+        nprocs, proc, addr, write = t
+        cfg = tiny_cfg()
+        assert np.array_equal(
+            assoc_lru_hits(proc, addr, cfg),
+            direct_mapped_hits(proc, addr, cfg),
+        )
+
+    @given(trace())
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    def test_fully_associative_hits_after_first_touch(self, t):
+        """A fully associative cache big enough for the whole footprint
+        never evicts: an access hits iff its (proc, line) was touched
+        before."""
+        nprocs, proc, addr, write = t
+        # Addresses span words 0..31 (<= 16 lines of 16B); 16 ways in
+        # one set hold the entire footprint per processor.
+        cfg = CacheConfig(size_bytes=256, line_bytes=16, assoc=16)
+        hits = assoc_lru_hits(proc, addr, cfg)
+        seen = set()
+        for i in range(len(addr)):
+            key = (int(proc[i]), int(addr[i]) // cfg.line_bytes)
+            assert hits[i] == (key in seen)
+            seen.add(key)

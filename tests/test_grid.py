@@ -1,0 +1,258 @@
+"""The shared grid engine: enumeration, coordinate helpers, and the
+incremental layer over the persistent result store."""
+
+import types
+
+import pytest
+
+import repro.apps as apps_pkg
+from repro.ir.builder import ProgramBuilder
+from repro.pipeline import grid as grid_mod
+from repro.pipeline.grid import (
+    GridPoint,
+    GridResult,
+    GridSpec,
+    make_grid,
+    point_key,
+    point_machine,
+    point_program,
+    run_grid,
+    summarize,
+)
+from repro.pipeline.store import ResultStore
+
+
+def _variant_app(coeff):
+    """A tiny registrable app; changing ``coeff`` is the test's stand-in
+    for editing the app's source (it changes the statement's closure,
+    hence the program fingerprint)."""
+
+    def build(n=8, time_steps=2):
+        pb = ProgramBuilder("edited", params={"N": n},
+                           time_steps=time_steps)
+        a = pb.array("A", (n, n), element_size=4)
+        b = pb.array("B", (n, n), element_size=4)
+        i, j = pb.vars("I", "J")
+        pb.nest(
+            "add",
+            [("J", 0, n - 1), ("I", 0, n - 1)],
+            [pb.assign(a(i, j), [b(i, j)], lambda x: coeff * x)],
+        )
+        return pb.build()
+
+    return types.SimpleNamespace(build=build, __doc__="test app")
+
+
+GRID_KW = dict(n=8, time_steps=2)
+
+
+class TestGridSpec:
+    def test_points_order_matches_make_grid(self):
+        spec = GridSpec(apps=("simple", "stencil5"),
+                        schemes=("base", "comp"), procs=(1, 4), n=8)
+        assert spec.points() == make_grid(
+            ["simple", "stencil5"], ["base", "comp"], [1, 4], n=8)
+
+    def test_pin_decomp(self):
+        spec = GridSpec(apps=("simple",), schemes=("comp",),
+                        procs=(2, 8), n=8, pin_decomp=True)
+        assert all(p.decomp_procs == 8 for p in spec.points())
+
+    def test_scheme_normalized(self):
+        pt = GridPoint(app="simple", scheme="OPT", nprocs=2)
+        assert pt.scheme == "data"
+        assert GridPoint(app="simple", scheme="comp_decomp_data",
+                         nprocs=2).scheme == "data"
+
+    def test_coord_covers_all_knobs(self):
+        a = GridPoint(app="simple", scheme="comp", nprocs=2, n=8)
+        b = GridPoint(app="simple", scheme="comp", nprocs=2, n=16)
+        assert a.coord() != b.coord()
+
+
+class TestPointHelpers:
+    def test_point_machine_word_bytes(self):
+        pt = GridPoint(app="simple", scheme="base", nprocs=4, **GRID_KW)
+        prog = point_program(pt)
+        machine = point_machine(pt, prog)
+        assert machine.word_bytes == min(
+            d.element_size for d in prog.arrays.values())
+        assert machine.nprocs == 4
+
+    def test_point_key_stable(self):
+        pt = GridPoint(app="simple", scheme="comp", nprocs=2, **GRID_KW)
+        assert point_key(pt) == point_key(pt)
+
+    @pytest.mark.parametrize("other", [
+        GridPoint(app="simple", scheme="data", nprocs=2, **GRID_KW),
+        GridPoint(app="simple", scheme="comp", nprocs=4, **GRID_KW),
+        GridPoint(app="simple", scheme="comp", nprocs=2, n=16,
+                  time_steps=2),
+        GridPoint(app="simple", scheme="comp", nprocs=2, n=8,
+                  time_steps=2, scale=32),
+        GridPoint(app="simple", scheme="comp", nprocs=2,
+                  decomp_procs=8, **GRID_KW),
+        GridPoint(app="stencil5", scheme="comp", nprocs=2, **GRID_KW),
+    ])
+    def test_point_key_sensitive(self, other):
+        base = GridPoint(app="simple", scheme="comp", nprocs=2, **GRID_KW)
+        assert point_key(base) != point_key(other)
+
+    def test_point_key_kind_namespaces(self):
+        pt = GridPoint(app="simple", scheme="comp", nprocs=2, **GRID_KW)
+        assert point_key(pt, kind="sim") != point_key(pt, kind="verify")
+
+
+class TestRunGridIncremental:
+    def _points(self):
+        return make_grid(["simple"], ["base", "comp"], [1, 2], **GRID_KW)
+
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_grid(self._points(), store=store, incremental=True)
+        agg = summarize(cold)
+        assert agg["executed"] == 4 and agg["store_hits"] == 0
+        assert store.stats.stores == 4
+
+        warm_store = ResultStore(tmp_path)
+        warm = run_grid(self._points(), store=warm_store,
+                        incremental=True)
+        agg = summarize(warm)
+        assert agg["executed"] == 0 and agg["store_hits"] == 4
+        # Zero compile/simulate work on the warm rerun.
+        assert agg["total_pass_runs"] == 0
+        assert all(r.store_hit and not r.pass_runs for r in warm)
+        # Served results carry the identical simulation outcome.
+        for a, b in zip(cold, warm):
+            assert a.total_time == b.total_time
+            assert a.n_accesses == b.n_accesses
+            assert a.miss_breakdown == b.miss_breakdown
+            assert a.store_key == b.store_key
+
+    def test_write_back_without_incremental(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_grid(self._points(), store=store, incremental=False)
+        assert store.stats.stores == 4
+        assert store.stats.hits == store.stats.misses == 0
+
+    def test_no_store_plain_execution(self):
+        results = run_grid(self._points()[:1])
+        assert len(results) == 1 and results[0].ok
+        assert not results[0].store_hit
+
+    def test_app_edit_reexecutes_only_that_app(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setitem(apps_pkg.ALL_APPS, "edited",
+                            _variant_app(0.5))
+        points = make_grid(["simple", "edited"], ["base", "comp"],
+                           [1, 2], **GRID_KW)
+        store = ResultStore(tmp_path)
+        run_grid(points, store=store, incremental=True)
+        assert store.stats.stores == 8
+
+        # "Edit" the app: new closure constant => new fingerprint.
+        monkeypatch.setitem(apps_pkg.ALL_APPS, "edited",
+                            _variant_app(0.6))
+        store2 = ResultStore(tmp_path)
+        rerun = run_grid(points, store=store2, incremental=True)
+        agg = summarize(rerun)
+        assert agg["store_hits"] == 4 and agg["executed"] == 4
+        executed = {r.point.app for r in rerun if not r.store_hit}
+        assert executed == {"edited"}
+        # The stale entries were invalidated coordinate-by-coordinate.
+        assert store2.stats.invalidations == 4
+
+    def test_unbuildable_point_isolated(self, tmp_path, monkeypatch):
+        # An app whose builder raises: the point gets no store key but
+        # still flows to the executor, which isolates the failure.
+        def boom(n=8, time_steps=2):
+            raise RuntimeError("unbuildable")
+
+        monkeypatch.setitem(apps_pkg.ALL_APPS, "boom",
+                            types.SimpleNamespace(build=boom))
+        pts = [
+            GridPoint(app="simple", scheme="base", nprocs=1, **GRID_KW),
+            GridPoint(app="boom", scheme="base", nprocs=1, **GRID_KW),
+        ]
+        store = ResultStore(tmp_path)
+        results = run_grid(pts, store=store, incremental=True)
+        assert results[0].ok
+        assert not results[1].ok and "unbuildable" in results[1].error
+        assert results[1].store_key == ""
+        # Only the good point was stored.
+        assert store.stats.stores == 1
+
+    def test_failed_and_degraded_not_stored(self, tmp_path,
+                                            monkeypatch):
+        points = self._points()[:2]
+        keys = [point_key(p, locality=False) for p in points]
+
+        def fake_execute(pts, **kwargs):
+            return [
+                GridResult(point=pts[0], ok=True, degraded=True,
+                           total_time=1.0),
+                GridResult(point=pts[1], ok=False, error="boom"),
+            ]
+
+        monkeypatch.setattr(grid_mod, "execute_grid", fake_execute)
+        store = ResultStore(tmp_path)
+        run_grid(points, store=store, incremental=True)
+        assert store.stats.stores == 0
+        assert store.get(keys[0]) is None
+        assert store.get(keys[1]) is None
+
+    def test_summarize_backward_fields(self):
+        results = run_grid(self._points()[:1])
+        agg = summarize(results)
+        for field in ("points", "ok", "errors", "degraded", "retried",
+                      "pass_runs", "pass_hits", "total_pass_runs",
+                      "fully_cached", "store_hits", "executed"):
+            assert field in agg
+
+
+class TestBatchFacade:
+    def test_backcompat_aliases(self):
+        from repro.pipeline.batch import (
+            BatchPoint,
+            BatchResult,
+            run_batch,
+        )
+
+        assert BatchPoint is GridPoint
+        assert BatchResult is GridResult
+        results = run_batch(
+            [BatchPoint(app="simple", scheme="base", nprocs=1,
+                        **GRID_KW)])
+        assert results[0].ok
+
+    def test_run_batch_accepts_store(self, tmp_path):
+        from repro.pipeline.batch import BatchPoint, run_batch
+
+        store = ResultStore(tmp_path)
+        pts = [BatchPoint(app="simple", scheme="base", nprocs=1,
+                          **GRID_KW)]
+        run_batch(pts, store=store, incremental=True)
+        again = run_batch(pts, store=store, incremental=True)
+        assert again[0].store_hit
+
+
+class TestVerifyGridStore:
+    def test_warm_verify_serves_verdicts(self, tmp_path):
+        from repro.verify import grid_ok, verify_grid
+
+        store = ResultStore(tmp_path)
+        cold = verify_grid(["simple"], ["base", "comp"], [1, 2], n=8,
+                           store=store)
+        assert grid_ok(cold)
+        assert store.stats.stores == 4
+
+        store2 = ResultStore(tmp_path)
+        warm = verify_grid(["simple"], ["base", "comp"], [1, 2], n=8,
+                           store=store2)
+        assert grid_ok(warm)
+        assert store2.stats.hits == 4 and store2.stats.misses == 0
+        for a, b in zip(cold, warm):
+            assert (a.program, a.scheme, a.nprocs) == \
+                (b.program, b.scheme, b.nprocs)
+            assert a.phases_checked == b.phases_checked
+            assert a.elements_checked == b.elements_checked

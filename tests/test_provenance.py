@@ -179,6 +179,29 @@ class TestDiff:
         assert diff.points[0].culprit is None
         assert "provenance" in diff.points[0].note
 
+    def test_machine_fp_recorded_in_bench_points(self):
+        snap = self._snap()
+        fp = snap["points"][0]["machine_fp"]
+        assert len(fp) == 64
+        # Not inside "sim": the exact-match gate must never see it.
+        assert "machine_fp" not in snap["points"][0]["sim"]
+
+    def test_machine_config_change_is_attributed(self):
+        """When the two runs disagree on the machine fingerprint, the
+        divergence is blamed on the machine config, not a compiler
+        decision."""
+        snap_a = self._snap()
+        snap_b = json.loads(json.dumps(snap_a))
+        for p in snap_b["points"]:
+            p["machine_fp"] = "f" * 64
+            p["sim"]["total_time"] *= 2.0
+        diff = provenance.diff_runs(snap_a, snap_b)
+        assert diff.significant
+        point = diff.points[0]
+        assert point.culprit is None
+        assert "machine fingerprint differs" in point.note
+        assert "machine-config change" in point.note
+
     def test_wall_only_delta_is_noise(self):
         snap = self._snap()
         jittered = json.loads(json.dumps(snap))
