@@ -534,23 +534,76 @@ def cmd_verify(args) -> int:
 
 def cmd_batch(args) -> int:
     import os
+    from dataclasses import asdict
 
     from repro import faults, obs
+    from repro.errors import JournalError
+    from repro.pipeline import journal as journal_mod
     from repro.pipeline.batch import (
         make_grid,
         merged_trace,
         run_batch,
         summarize,
     )
+    from repro.pipeline.grid import GracefulShutdown
+    from repro.pipeline.store import resolve_store_dir
 
-    apps, schemes = _grid_args(args)
-    procs = args.procs_list
+    store, incremental = _result_store(args)
+    if args.resume is not None and args.no_journal:
+        raise SystemExit("--resume needs the journal; drop --no-journal")
+    want_journal = (not args.no_journal
+                    and (store is not None or args.resume is not None))
+    jdir = (journal_mod.journal_dir(resolve_store_dir(args.store_dir))
+            if want_journal else None)
 
-    points = make_grid(
-        apps, [s.value for s in schemes], procs,
-        n=args.n, time_steps=args.time_steps, scale=args.scale,
-        pin_decomp=args.pin_decomp,
-    )
+    degrade = not args.no_degrade
+    locality = bool(args.json)
+    journal = None
+    preset = None
+    if args.resume is not None:
+        # The grid comes from the journal, not the CLI flags: a resume
+        # must execute exactly the run it is resuming.
+        try:
+            run_id = journal_mod.resolve_run_id(jdir, args.resume)
+            state = journal_mod.JournalState.load(
+                jdir / f"{run_id}.jsonl")
+            state.validate()
+            points = state.points()
+        except JournalError as exc:
+            raise SystemExit(f"batch --resume: {exc}")
+        spec = state.spec
+        degrade = bool(spec.get("degrade", degrade))
+        locality = bool(spec.get("locality", locality))
+        preset = state.finished_results()
+        if state.complete:
+            print(f"note: run {run_id} already completed; serving all "
+                  f"{len(preset)} journaled points")
+        else:
+            print(f"resuming {run_id}: {len(preset)}/{len(points)} "
+                  f"points already journaled")
+        journal = journal_mod.JournalWriter.reopen(jdir, run_id)
+        apps = sorted({p.app for p in points})
+        schemes = sorted({parse_scheme(p.scheme) for p in points},
+                         key=lambda s: s.value)
+        procs = sorted({p.nprocs for p in points})
+    else:
+        apps, schemes = _grid_args(args)
+        procs = args.procs_list
+        points = make_grid(
+            apps, [s.value for s in schemes], procs,
+            n=args.n, time_steps=args.time_steps, scale=args.scale,
+            pin_decomp=args.pin_decomp,
+        )
+        if want_journal:
+            spec = {
+                "points": [asdict(p) for p in points],
+                "degrade": degrade,
+                "locality": locality,
+            }
+            journal = journal_mod.JournalWriter.create(jdir, spec)
+    preset_ids = {id(r) for r in (preset or {}).values()}
+    shutdown = GracefulShutdown(drain_seconds=args.drain)
+
     disk_dir = None
     if not args.no_cache:
         from repro.pipeline import resolve_disk_dir
@@ -559,8 +612,6 @@ def cmd_batch(args) -> int:
         if disk is None and args.cache:
             disk = Path("~/.cache/repro").expanduser()
         disk_dir = str(disk) if disk is not None else None
-
-    store, incremental = _result_store(args)
 
     saved_faults = os.environ.get(faults.ENV_FLAG)
     if args.inject_faults is not None:
@@ -579,15 +630,17 @@ def cmd_batch(args) -> int:
     if collect:
         obs.enable(reset=True)
     try:
-        results = run_batch(
-            points, jobs=args.jobs,
-            cache=not args.no_cache, disk_dir=disk_dir,
-            timeout=args.timeout, retries=args.retries,
-            backoff=args.backoff, degrade=not args.no_degrade,
-            collect_telemetry=collect,
-            locality=bool(args.json),
-            store=store, incremental=incremental,
-        )
+        with shutdown.install():
+            results = run_batch(
+                points, jobs=args.jobs,
+                cache=not args.no_cache, disk_dir=disk_dir,
+                timeout=args.timeout, retries=args.retries,
+                backoff=args.backoff, degrade=degrade,
+                collect_telemetry=collect,
+                locality=locality,
+                store=store, incremental=incremental,
+                journal=journal, shutdown=shutdown, preset=preset,
+            )
     finally:
         if args.inject_faults is not None:
             faults.configure(None)
@@ -595,6 +648,16 @@ def cmd_batch(args) -> int:
                 os.environ.pop(faults.ENV_FLAG, None)
             else:
                 os.environ[faults.ENV_FLAG] = saved_faults
+    # Points executed by *this* process: not store-served, and not one
+    # of the journaled results a --resume rehydrated.
+    live_executed = sum(
+        1 for r in results
+        if not r.store_hit and id(r) not in preset_ids)
+    if journal is not None:
+        journal.end(
+            "interrupted" if shutdown.triggered else "complete",
+            executed=live_executed)
+        journal.close()
     merged = None
     if collect:
         merged = merged_trace(results)
@@ -607,6 +670,8 @@ def cmd_batch(args) -> int:
         p = r.point
         if r.ok:
             status = "ok (store)" if r.store_hit else "ok"
+            if id(r) in preset_ids:
+                status = "ok (journal)"
             if r.degraded:
                 first = (r.degrade_reason or "?").strip().splitlines()[0]
                 status = f"ok (degraded to base: {first})"
@@ -638,6 +703,11 @@ def cmd_batch(args) -> int:
               f"invalidations {st['invalidations']}, "
               f"evictions {st['evictions']}, "
               f"{st['entries']} entries, {st['bytes']} bytes)")
+    if journal is not None:
+        print(f"journal: {journal.run_id} "
+              f"({journal.appends} appends, {journal.errors} errors, "
+              f"{len(preset_ids)} served from journal, "
+              f"{live_executed} executed live)")
 
     if args.trace_out and merged is not None:
         merged.write(args.trace_out)
@@ -651,6 +721,16 @@ def cmd_batch(args) -> int:
                    "results": [r.as_dict() for r in results]}
         if store is not None:
             payload["store"] = store.stats_dict()
+        if journal is not None:
+            payload["journal"] = {
+                "run_id": journal.run_id,
+                "appends": journal.appends,
+                "errors": journal.errors,
+                "resumed": bool(preset),
+                "served_from_journal": len(preset_ids),
+                "executed_live": live_executed,
+                "interrupted": shutdown.triggered,
+            }
         if merged is not None:
             payload["telemetry"] = _batch_telemetry(merged, agg)
         with open(args.json, "w") as fh:
@@ -669,10 +749,29 @@ def cmd_batch(args) -> int:
               f"({agg['store_hits']} served from the store)",
               file=sys.stderr)
         rc = 1
+    if args.expect_executed is not None \
+            and live_executed != args.expect_executed:
+        print(f"error: --expect-executed {args.expect_executed} but "
+              f"{live_executed} points executed live "
+              f"({len(preset_ids)} served from the journal, "
+              f"{agg['store_hits']} from the store)",
+              file=sys.stderr)
+        rc = 1
     if args.verify:
         verify_rc = _post_run_verify(
             apps, schemes, procs, args.verify_n, args.time_steps)
         rc = rc or verify_rc
+    if shutdown.triggered:
+        hint = ""
+        if journal is not None:
+            hint = (f"; resume with: python -m repro batch --resume "
+                    f"{journal.run_id}")
+            if args.store_dir:
+                hint += f" --store-dir {args.store_dir}"
+        print(f"interrupted (signal {shutdown.signum}) — "
+              f"{len(results)}/{len(points)} points finished{hint}",
+              file=sys.stderr)
+        rc = 130
     return rc
 
 
@@ -707,9 +806,64 @@ def _batch_telemetry(merged, agg) -> dict:
         "degraded": total("pipeline.degraded"),
         "faults": prefixed("faults."),
         "cache": prefixed("pipeline.cache."),
+        "store": prefixed("store."),
+        "journal": prefixed("journal."),
+        "locks": prefixed("lock."),
+        "shutdowns": total("batch.shutdowns"),
         "quarantine_evicted": total("cache.quarantine.evicted"),
         "counters": counters,
     }
+
+
+def cmd_fsck(args) -> int:
+    """``python -m repro fsck``: audit (and repair) the result store."""
+    from repro.errors import IntegrityError
+    from repro.pipeline.integrity import fsck_store
+    from repro.pipeline.store import ResultStore, resolve_store_dir
+
+    root = resolve_store_dir(args.store_dir)
+    store = ResultStore(root)
+    try:
+        report = fsck_store(store, repair=not args.no_repair)
+    except IntegrityError as exc:
+        raise SystemExit(f"fsck: {exc}")
+
+    print(f"fsck {root}")
+    print(f"  entries scanned:    {report.scanned}")
+    print(f"  ok:                 {report.ok}")
+    print(f"  repaired:           {report.repaired}")
+    print(f"  quarantined:        {report.quarantined}")
+    if report.unparseable:
+        print(f"    unparseable:      {report.unparseable}")
+    if report.key_mismatch:
+        print(f"    key mismatch:     {report.key_mismatch}")
+    if report.checksum_mismatch:
+        print(f"    bad checksum:     {report.checksum_mismatch}")
+    if report.missing_payload:
+        print(f"    missing payload:  {report.missing_payload}")
+    if report.missing_checksum:
+        print(f"  legacy (no sha256): {report.missing_checksum}")
+    print(f"  index fixes:        "
+          f"{report.index_dropped} dropped, "
+          f"{report.index_added} added, "
+          f"{report.index_duplicates} duplicates")
+    for problem in report.problems[:20]:
+        print(f"  - {problem}")
+    if len(report.problems) > 20:
+        print(f"  … and {len(report.problems) - 20} more")
+    print("store is clean" if report.clean
+          else f"store had damage ({report.damage} findings"
+               + ("" if args.no_repair else ", now repaired") + ")")
+
+    if args.json:
+        text = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            _write_text(args.json, text + "\n", "fsck report JSON")
+    if args.strict and not report.clean:
+        return 1
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -978,8 +1132,45 @@ def main(argv=None) -> int:
     p.add_argument("--expect-cached", action="store_true",
                    help="exit nonzero unless the whole grid was served "
                         "from the cache (CI warm-run guard)")
+    p.add_argument("--resume", default=None, metavar="RUN",
+                   help="resume an interrupted journaled run (a RUN_* "
+                        "id, or 'latest'); the grid is rebuilt from the "
+                        "journal and finished points are served "
+                        "verbatim, never re-executed")
+    p.add_argument("--drain", type=_nonneg_float, default=30.0,
+                   metavar="SECONDS",
+                   help="on SIGINT/SIGTERM, seconds to let in-flight "
+                        "points finish before abandoning them "
+                        "(default 30; a second signal stops at once)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable the crash-recovery run journal that a "
+                        "result store otherwise writes")
+    p.add_argument("--expect-executed", type=_nonneg_int, default=None,
+                   metavar="N",
+                   help="exit nonzero unless exactly N points executed "
+                        "live in this process — journal- and "
+                        "store-served points do not count (CI resume "
+                        "guard)")
     _add_cache_flags(p)
     _add_store_flags(p, expect=True)
+
+    p = sub.add_parser(
+        "fsck",
+        help="audit the persistent result store: verify every entry's "
+             "checksum and key, reconcile the coordinate index, "
+             "quarantine or repair damage",
+    )
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="result-store directory (default: "
+                        "$REPRO_STORE_DIR or ~/.cache/repro/results)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when any damage was found "
+                        "(CI guard)")
+    p.add_argument("--no-repair", action="store_true",
+                   help="report only; quarantine nothing, rewrite "
+                        "nothing, leave the index as-is")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the fsck report as JSON; '-' for stdout")
 
     p = sub.add_parser(
         "bench",
@@ -1052,6 +1243,7 @@ def main(argv=None) -> int:
         "hotspots": cmd_hotspots,
         "verify": cmd_verify,
         "batch": cmd_batch,
+        "fsck": cmd_fsck,
         "bench": cmd_bench,
         "explain": cmd_explain,
         "diff": cmd_diff,

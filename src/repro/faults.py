@@ -25,10 +25,21 @@ Recognized sites and what the consumers do when they fire:
                    the driver respawns the pool and retries
 ``worker.stall``   a batch worker sleeps ``stall_s`` seconds → the
                    driver's per-point timeout fires
+``disk.enospc``    :func:`repro.util.atomicio.write_atomic` raises
+                   ``OSError(ENOSPC)`` → store/cache writes degrade
+                   (counted, never fatal)
+``disk.torn_write`` an atomic write (or journal append) lands only a
+                   prefix of its payload, unsynced → corrupt-entry
+                   quarantine, ``repro fsck``, and the journal's
+                   torn-tail reader all get exercised
+``driver.kill``    the grid *driver* SIGKILLs itself right after
+                   journaling a finished point → ``--resume`` recovery
 =================  ========================================================
 
 ``worker.*`` sites only ever fire inside batch worker processes
-(:func:`maybe_worker_faults` is only called there); everything else is
+(:func:`maybe_worker_faults` is only called there); ``driver.kill``
+only ever fires in the driver (:func:`maybe_driver_kill` is called
+from the grid engine's completion callback); everything else is
 process-agnostic.  When no plan is configured every probe is a cheap
 no-op returning ``False``.
 """
@@ -52,13 +63,17 @@ __all__ = [
     "configure",
     "corrupt",
     "current_plan",
+    "maybe_driver_kill",
     "maybe_worker_faults",
     "should_fire",
 ]
 
 ENV_FLAG = "REPRO_FAULTS"
 
-SITES = ("cache.read", "cache.write", "pass", "worker.crash", "worker.stall")
+SITES = (
+    "cache.read", "cache.write", "pass", "worker.crash", "worker.stall",
+    "disk.enospc", "disk.torn_write", "driver.kill",
+)
 
 _CORRUPT_PREFIX = b"\x00REPRO-FAULT-CORRUPT\x00"
 
@@ -191,3 +206,19 @@ def maybe_worker_faults() -> None:
         os._exit(3)
     if should_fire("worker.stall"):
         time.sleep(plan.stall_seconds)
+
+
+def maybe_driver_kill() -> None:
+    """Fire the ``driver.kill`` fault: SIGKILL the *driver* process.
+
+    The grid engine calls this after a finished point has been
+    persisted (store write + journal append), which is exactly the
+    crash window ``--resume`` recovery is built for: everything
+    journaled so far must be served on restart, everything else
+    re-executed.  A SIGKILL cannot be caught, so no graceful-shutdown
+    path softens it — this is the hard-crash chaos site.
+    """
+    if should_fire("driver.kill"):
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)

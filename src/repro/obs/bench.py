@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.obs import core as _obs_core
 from repro.obs import provenance
+from repro.util.atomicio import write_atomic
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -307,8 +308,7 @@ def save_snapshot(
     while path.exists():
         serial += 1
         path = out / f"BENCH_{stamp}-{serial}.json"
-    with open(path, "w") as fh:
-        json.dump(snap, fh, indent=1)
+    write_atomic(path, json.dumps(snap, indent=1), fsync=False)
     latest_path: Optional[str] = None
     if latest is not None:
         pointer = {
@@ -316,8 +316,7 @@ def save_snapshot(
             "pointer": str(path),
             "created": snap["created"],
         }
-        with open(latest, "w") as fh:
-            json.dump(pointer, fh, indent=1)
+        write_atomic(latest, json.dumps(pointer, indent=1), fsync=False)
         latest_path = str(latest)
     return str(path), latest_path
 
@@ -356,10 +355,7 @@ def append_series(name: str, payload: Dict[str, Any],
             lines = fh.readlines()
         if len(lines) > keep:
             dropped = len(lines) - keep
-            tmp = p.with_suffix(".jsonl.tmp")
-            with open(tmp, "w") as fh:
-                fh.writelines(lines[-keep:])
-            os.replace(tmp, p)
+            write_atomic(p, "".join(lines[-keep:]), fsync=False)
             obs.inc("bench.series.rotated")
             obs.counter("bench.series.dropped").add(dropped)
     return str(p)

@@ -59,16 +59,22 @@ def run_batch(
     locality: bool = False,
     store: Optional[ResultStore] = None,
     incremental: bool = False,
+    journal=None,
+    shutdown=None,
+    preset=None,
 ) -> List[BatchResult]:
     """Run every point; results come back in input order.
 
     See :func:`repro.pipeline.grid.run_grid` (this is it, under the
     historical name): ``store``/``incremental`` add the persistent
-    result store on top of the hardened wave executor.
+    result store on top of the hardened wave executor, and
+    ``journal``/``shutdown``/``preset`` add the crash-safe run journal,
+    graceful SIGINT/SIGTERM drain, and ``--resume`` replay.
     """
     return run_grid(
         points, jobs=jobs, cache=cache, disk_dir=disk_dir,
         timeout=timeout, retries=retries, backoff=backoff,
         degrade=degrade, collect_telemetry=collect_telemetry,
         locality=locality, store=store, incremental=incremental,
+        journal=journal, shutdown=shutdown, preset=preset,
     )

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import os
 import sys
-import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,6 +40,7 @@ from typing import Any, Dict, Optional
 from repro import faults, obs
 from repro.errors import CacheError
 from repro.pipeline import serde
+from repro.util.atomicio import write_atomic
 
 __all__ = ["MISS", "ArtifactCache", "CacheStats", "resolve_disk_dir"]
 
@@ -234,18 +234,10 @@ class ArtifactCache:
             if faults.should_fire("cache.write"):
                 raise CacheError("injected disk-store write fault", key=key)
             data = serde.dumps(value)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(data)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            # Artifacts are recomputable, so skip the fsync: a crash at
+            # worst loses a cache entry, never corrupts one (the rename
+            # is still atomic and torn entries quarantine on read).
+            write_atomic(path, data, fsync=False)
             self.stats.disk_stores += 1
             obs.inc("pipeline.cache.disk_stores")
         except Exception as exc:

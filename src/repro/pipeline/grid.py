@@ -58,14 +58,24 @@ historical names (``BatchPoint``/``BatchResult``/``run_batch``).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import signal as _signal
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import faults, obs
 from repro.codegen.spmd import parse_scheme, scheme_short_name
@@ -74,6 +84,7 @@ from repro.pipeline.fingerprint import fingerprint_program
 from repro.pipeline.store import ResultStore, result_key
 
 __all__ = [
+    "GracefulShutdown",
     "GridPoint",
     "GridResult",
     "GridSpec",
@@ -83,12 +94,17 @@ __all__ = [
     "point_key",
     "point_machine",
     "point_program",
+    "result_from_dict",
     "run_grid",
     "run_point",
     "summarize",
 ]
 
 MAX_BACKOFF_SECONDS = 30.0
+
+# How long a graceful shutdown waits for the in-flight wave before
+# abandoning it (resume re-executes whatever was abandoned).
+DEFAULT_DRAIN_SECONDS = 30.0
 
 
 @dataclass(frozen=True)
@@ -175,6 +191,70 @@ class GridResult:
         out.pop("telemetry", None)
         out["point"] = asdict(self.point)
         return out
+
+
+def result_from_dict(d: Dict[str, object]) -> GridResult:
+    """Rehydrate :meth:`GridResult.as_dict` output (journal ``done``
+    records, ``batch --json`` rows) back into a result — the exact
+    inverse, so a served record is bit-identical to the original."""
+    d = dict(d)
+    d.pop("telemetry", None)
+    point = GridPoint(**d.pop("point"))
+    return GridResult(point=point, **d)
+
+
+class GracefulShutdown:
+    """Cooperative SIGINT/SIGTERM handling for the grid driver.
+
+    On the first signal the executor *stops dispatching* new points
+    and *drains* the in-flight work for up to ``drain_seconds``;
+    whatever finishes in that window is recorded (and journaled)
+    normally, the rest is abandoned for ``--resume`` to re-execute.  A
+    second signal expires the drain immediately.  The driver then
+    flushes partial outputs and exits 130 with a resume hint — see
+    ``repro batch``.
+    """
+
+    def __init__(self, drain_seconds: float = DEFAULT_DRAIN_SECONDS):
+        self.drain_seconds = drain_seconds
+        self.triggered = False
+        self.signum: Optional[int] = None
+        self._deadline: Optional[float] = None
+
+    def trigger(self, signum: Optional[int] = None, frame=None) -> None:
+        """Signal-handler entry (also callable directly from tests)."""
+        if self.triggered:
+            # Second signal: the user means now — expire the drain.
+            self._deadline = time.monotonic()
+            return
+        self.triggered = True
+        self.signum = signum
+        self._deadline = time.monotonic() + self.drain_seconds
+        obs.inc("batch.shutdowns")
+        obs.event("batch.shutdown", cat="batch", signum=signum,
+                  drain_seconds=self.drain_seconds)
+
+    def drain_expired(self) -> bool:
+        return (self.triggered and self._deadline is not None
+                and time.monotonic() >= self._deadline)
+
+    @contextlib.contextmanager
+    def install(self, signals: Sequence[int] = (_signal.SIGINT,
+                                                _signal.SIGTERM)):
+        """Install :meth:`trigger` as the handler for ``signals``
+        (main thread only), restoring the previous handlers on exit."""
+        previous = {}
+        for s in signals:
+            previous[s] = _signal.signal(s, self.trigger)
+        try:
+            yield self
+        finally:
+            for s, handler in previous.items():
+                _signal.signal(s, handler)
+
+
+class _DrainExpired(Exception):
+    """Internal: the shutdown drain deadline passed while waiting."""
 
 
 @dataclass(frozen=True)
@@ -414,8 +494,24 @@ def execute_grid(
     degrade: bool = True,
     collect_telemetry: bool = False,
     locality: bool = False,
+    on_result: Optional[Callable[[int, GridResult], None]] = None,
+    on_start: Optional[Callable[[int], None]] = None,
+    on_wave: Optional[Callable[[int, int], None]] = None,
+    shutdown: Optional[GracefulShutdown] = None,
 ) -> List[GridResult]:
     """Execute every point; results come back in input order.
+
+    ``on_result(i, result)`` fires in the *driver* the moment point
+    ``i`` (input order) reaches its terminal result — the hook the
+    incremental layer uses to persist store entries and journal
+    records while the grid is still running, so a crash loses at most
+    the in-flight points.  ``on_start(i)`` fires at dispatch and
+    ``on_wave(wave, pending)`` at the top of each parallel wave.
+
+    ``shutdown`` makes the executor cooperate with SIGINT/SIGTERM: no
+    new dispatch after the trigger, the in-flight wave drains until
+    the deadline, abandoned points are simply absent from the returned
+    list (and ``on_result`` never fires for them).
 
     ``jobs <= 1`` runs serially in-process on one shared session;
     ``jobs > 1`` fans out over a process pool (``disk_dir`` makes the
@@ -441,34 +537,53 @@ def execute_grid(
     points = list(points)
     if jobs <= 1:
         return _run_serial(points, cache, disk_dir, retries, backoff,
-                           degrade, locality)
+                           degrade, locality, on_result, on_start,
+                           shutdown)
     return _run_parallel(points, jobs, cache, disk_dir, timeout,
                          retries, backoff, degrade, collect_telemetry,
-                         locality)
+                         locality, on_result, on_start, on_wave,
+                         shutdown)
 
 
 def _run_serial(points, cache, disk_dir, retries, backoff,
-                degrade, locality=False) -> List[GridResult]:
+                degrade, locality=False, on_result=None, on_start=None,
+                shutdown=None) -> List[GridResult]:
     session = _make_session(disk_dir, cache)
     out: List[GridResult] = []
-    for point in points:
+    for i, point in enumerate(points):
+        if shutdown is not None and shutdown.triggered:
+            break
+        if on_start is not None:
+            on_start(i)
         attempt = 1
         result = run_point(point, session, degrade=degrade,
                            locality=locality)
+        abandoned = False
         while not result.ok and attempt <= retries:
+            if shutdown is not None and shutdown.triggered:
+                # Mid-retry shutdown: abandon rather than record a
+                # failure the remaining retries might have fixed —
+                # resume re-executes the point with its full budget.
+                abandoned = True
+                break
             obs.inc("batch.retries")
             time.sleep(_backoff_delay(backoff, attempt + 1))
             attempt += 1
             result = run_point(point, session, degrade=degrade,
                                locality=locality)
+        if abandoned:
+            break
         result.attempts = attempt
         out.append(result)
+        if on_result is not None:
+            on_result(i, result)
     return out
 
 
 def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
                   backoff, degrade, collect_telemetry=False,
-                  locality=False) -> List[GridResult]:
+                  locality=False, on_result=None, on_start=None,
+                  on_wave=None, shutdown=None) -> List[GridResult]:
     """Wave-based execution: each wave gets a fresh pool for whatever
     is still pending.
 
@@ -487,10 +602,22 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
     attempts = [0] * len(points)
     pending: List[int] = list(range(len(points)))
     wave = 0
+
+    def _finish(i: int, result: GridResult) -> None:
+        results[i] = result
+        if on_result is not None:
+            on_result(i, result)
+
     while pending:
+        if shutdown is not None and shutdown.triggered:
+            # Stop dispatching: whatever is still pending stays unrun
+            # (absent from the results) for --resume to pick up.
+            break
         wave += 1
         if wave > 1:
             time.sleep(_backoff_delay(backoff, wave))
+        if on_wave is not None:
+            on_wave(wave, len(pending))
         next_pending: List[int] = []
 
         def _retry_or_fail(i: int, error: str) -> None:
@@ -498,18 +625,21 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
                 obs.inc("batch.retries")
                 next_pending.append(i)
             else:
-                results[i] = GridResult(
+                _finish(i, GridResult(
                     point=points[i], ok=False, error=error,
                     attempts=attempts[i],
-                )
+                ))
 
         pool = ProcessPoolExecutor(max_workers=jobs)
         broken = False
+        aborted = False
         progressed = False
         futures = []
         collateral: List[int] = []
         try:
             for i in pending:
+                if on_start is not None:
+                    on_start(i)
                 futures.append(
                     (pool.submit(_worker_run, payloads[i]), i))
         except BrokenProcessPool:
@@ -517,18 +647,24 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
             submitted = {i for _, i in futures}
             collateral.extend(i for i in pending if i not in submitted)
         for fut, i in futures:
-            if broken and not fut.done():
-                # The pool is already dead; this point never got a
-                # chance — requeue it without waiting (or charging).
+            if aborted or (broken and not fut.done()):
+                # The pool is already dead (or the drain deadline
+                # passed); this point never got a chance — requeue it
+                # without waiting (or charging), unless we are
+                # shutting down, in which case it is simply abandoned.
                 fut.cancel()
-                collateral.append(i)
+                if not aborted:
+                    collateral.append(i)
                 continue
             try:
-                result = fut.result(timeout=timeout)
+                result = _await_result(fut, timeout, shutdown)
                 attempts[i] += 1
                 result.attempts = attempts[i]
-                results[i] = result
+                _finish(i, result)
                 progressed = True
+            except _DrainExpired:
+                aborted = True
+                fut.cancel()
             except FuturesTimeoutError:
                 broken = True
                 attempts[i] += 1
@@ -552,19 +688,44 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
                 # only; the pool itself may still be healthy.
                 attempts[i] += 1
                 _retry_or_fail(i, traceback.format_exc(limit=5))
-        for i in collateral:
-            if not progressed:
-                attempts[i] += 1
-            _retry_or_fail(
-                i, "worker process died (pool broken) before this "
-                   "point completed")
-        if broken:
+        if not aborted:
+            for i in collateral:
+                if not progressed:
+                    attempts[i] += 1
+                _retry_or_fail(
+                    i, "worker process died (pool broken) before this "
+                       "point completed")
+        if broken or aborted:
             obs.inc("batch.respawns")
             _kill_pool(pool)
         else:
             pool.shutdown(wait=True)
+        if aborted:
+            break
         pending = next_pending
     return [r for r in results if r is not None]
+
+
+def _await_result(fut, timeout, shutdown) -> GridResult:
+    """``fut.result`` that honours both the per-point timeout and a
+    graceful shutdown's drain deadline (polling in short slices so the
+    signal handler's flag is observed promptly)."""
+    if shutdown is None:
+        return fut.result(timeout=timeout)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        if shutdown.drain_expired():
+            raise _DrainExpired()
+        slice_s = 0.2
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FuturesTimeoutError()
+            slice_s = min(slice_s, remaining)
+        try:
+            return fut.result(timeout=slice_s)
+        except FuturesTimeoutError:
+            continue
 
 
 # -- the incremental layer ---------------------------------------------------
@@ -613,80 +774,132 @@ def run_grid(
     locality: bool = False,
     store: Optional[ResultStore] = None,
     incremental: bool = False,
+    journal=None,
+    shutdown: Optional[GracefulShutdown] = None,
+    preset: Optional[Dict[int, GridResult]] = None,
 ) -> List[GridResult]:
     """Run every point, optionally against a persistent result store.
 
-    Without a ``store`` this is exactly :func:`execute_grid`.  With
-    one, every executed ok/non-degraded result is written back under
-    its :func:`point_key`; with ``incremental=True`` the store is
+    Without a ``store``, ``journal``, ``shutdown`` or ``preset`` this
+    is exactly :func:`execute_grid`.  With a store, every executed
+    ok/non-degraded result is written back under its
+    :func:`point_key`; with ``incremental=True`` the store is
     consulted first and matching points are *served* instead of
     executed (``GridResult.store_hit``), so only points whose program,
     machine, or model version changed do any compile/simulate work.
 
     The store is touched only on the driver side — before dispatch and
-    after completion — so workers stay store-free and no cross-process
-    locking exists.  Simulation is deterministic: a served result is
-    bit-identical to what re-executing the point would produce.
+    per completed point — so workers stay store-free; cross-process
+    safety comes from the store's own advisory file lock.  Simulation
+    is deterministic: a served result is bit-identical to what
+    re-executing the point would produce.
+
+    ``journal`` is a :class:`repro.pipeline.journal.JournalWriter`
+    (duck-typed to avoid the circular import): each point's terminal
+    result is appended the moment it lands, including store-served
+    points, so a killed driver can be resumed from the journal alone.
+
+    ``preset`` maps global point index -> already-finished
+    :class:`GridResult` (a ``--resume`` replays the journal into this);
+    preset points are served verbatim — never re-executed, never
+    re-journaled (their records are already in the reopened journal).
+
+    ``shutdown`` (a :class:`GracefulShutdown`) makes the run stop
+    dispatching on SIGINT/SIGTERM and drain in-flight work; abandoned
+    points are absent from the returned list.
     """
     points = list(points)
-    if store is None:
+    if (store is None and journal is None and shutdown is None
+            and not preset):
         return execute_grid(
             points, jobs=jobs, cache=cache, disk_dir=disk_dir,
             timeout=timeout, retries=retries, backoff=backoff,
             degrade=degrade, collect_telemetry=collect_telemetry,
             locality=locality,
         )
+    preset = dict(preset or {})
+    results: List[Optional[GridResult]] = [None] * len(points)
+    for i, r in preset.items():
+        if 0 <= i < len(points):
+            results[i] = r
     # One key per point.  Programs repeat across schemes/procs, so the
     # build is memoized on the coordinate knobs that shape it.  A point
     # whose program cannot even be built gets no key — it still goes to
     # the executor, which isolates the failure per point exactly as a
-    # store-less run would.
-    progs: Dict[Tuple, object] = {}
-    keys: List[Optional[str]] = []
-    for p in points:
-        pk = (p.app, p.n, p.time_steps)
-        try:
-            if pk not in progs:
-                progs[pk] = point_program(p)
-            prog = progs[pk]
-            keys.append(
-                None if prog is None
-                else point_key(p, prog=prog, locality=locality))
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception:
-            progs[pk] = None
-            keys.append(None)
-    results: List[Optional[GridResult]] = [None] * len(points)
+    # store-less run would.  Preset points skip the build entirely.
+    keys: List[Optional[str]] = [None] * len(points)
+    if store is not None:
+        progs: Dict[Tuple, object] = {}
+        for i, p in enumerate(points):
+            if results[i] is not None:
+                continue
+            pk = (p.app, p.n, p.time_steps)
+            try:
+                if pk not in progs:
+                    progs[pk] = point_program(p)
+                prog = progs[pk]
+                keys[i] = (
+                    None if prog is None
+                    else point_key(p, prog=prog, locality=locality))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                progs[pk] = None
+                keys[i] = None
     to_run: List[int] = []
-    if incremental:
-        for i, (p, k) in enumerate(zip(points, keys)):
-            payload = store.get(k) if k is not None else None
-            if payload is not None:
-                results[i] = _result_from_payload(p, k, payload)
-            else:
-                to_run.append(i)
-    else:
-        to_run = list(range(len(points)))
+    for i, (p, k) in enumerate(zip(points, keys)):
+        if results[i] is not None:
+            continue
+        payload = None
+        if incremental and store is not None and k is not None:
+            payload = store.get(k)
+        if payload is not None:
+            served = _result_from_payload(p, k, payload)
+            results[i] = served
+            if journal is not None:
+                journal.point_done(i, served)
+        else:
+            to_run.append(i)
     if to_run:
-        executed = execute_grid(
+        # execute_grid sees a compacted point list; translate its local
+        # indices back to grid-global ones for the store/journal.
+        index = {j: i for j, i in enumerate(to_run)}
+
+        def _record(j: int, r: GridResult) -> None:
+            i = index[j]
+            if keys[i] is not None:
+                r.store_key = keys[i]
+            results[i] = r
+            # Degraded results ran the wrong scheme and failures carry
+            # no result — neither is evidence worth persisting in the
+            # store (the journal records them all so resume does not
+            # re-run a point that already failed terminally).
+            if (store is not None and keys[i] is not None
+                    and r.ok and not r.degraded):
+                store.put(keys[i], _result_payload(r),
+                          coord=f"sim:{points[i].coord()}"
+                                f"/loc={locality}")
+            if journal is not None:
+                journal.point_done(i, r)
+            faults.maybe_driver_kill()
+
+        def _started(j: int) -> None:
+            if journal is not None:
+                i = index[j]
+                journal.point_started(i, points[i])
+
+        def _wave(wave: int, pending: int) -> None:
+            if journal is not None:
+                journal.wave(wave, pending)
+
+        execute_grid(
             [points[i] for i in to_run], jobs=jobs, cache=cache,
             disk_dir=disk_dir, timeout=timeout, retries=retries,
             backoff=backoff, degrade=degrade,
             collect_telemetry=collect_telemetry, locality=locality,
+            on_result=_record, on_start=_started, on_wave=_wave,
+            shutdown=shutdown,
         )
-        for i, r in zip(to_run, executed):
-            if keys[i] is None:
-                results[i] = r
-                continue
-            r.store_key = keys[i]
-            results[i] = r
-            # Degraded results ran the wrong scheme and failures carry
-            # no result — neither is evidence worth persisting.
-            if r.ok and not r.degraded:
-                store.put(keys[i], _result_payload(r),
-                          coord=f"sim:{points[i].coord()}"
-                                f"/loc={locality}")
     return [r for r in results if r is not None]
 
 

@@ -1,0 +1,403 @@
+"""Crash-consistent run journal: every grid run is resumable.
+
+A long incremental grid run dies for boring reasons — SIGTERM from CI,
+a driver crash, a full disk, Ctrl-C.  The journal makes the run's
+progress itself durable data, in the same "computation is just data"
+spirit as the artifact cache and result store: one append-only JSONL
+file per run under ``<store-root>/journal/``, every record fsync'd, so
+whatever survives a crash is a complete prefix of the run's history
+(modulo one possibly-torn final line, which the reader skips).
+
+Record stream (``type`` field)::
+
+    header  run_id, schema, created, the full grid *spec* (every point
+            coordinate plus the result-shaping knobs) and its SHA-256
+            fingerprint — the resume contract
+    resume  appended when ``--resume`` reopens the journal
+    wave    the executor started wave N with M points pending
+    start   point i was dispatched
+    done    point i reached a terminal state; carries the full
+            :class:`~repro.pipeline.grid.GridResult` dict (minus
+            telemetry), so a resumed run can serve the point
+            bit-identically without touching the store
+    end     the run finished ("complete") or was interrupted
+            ("interrupted") — a journal with no ``end`` record means
+            the driver died mid-run
+
+``repro batch --resume <run-id|latest>`` replays this: it rebuilds the
+point list from the header, refuses to run if the recorded spec
+fingerprint does not match (the journal describes a *different* grid),
+rehydrates every ``done`` point, and executes only the rest —
+appending to the same journal so a twice-interrupted run resumes
+again.  Summaries are bit-identical to an uninterrupted run because
+``done`` records are served verbatim and execution is deterministic
+(share a ``--cache-dir`` across the interrupted and resuming processes
+to also keep the per-point pass counters identical — see DESIGN.md).
+
+Fault injection: journal appends honour ``disk.enospc`` (the append is
+dropped and counted — losing a record only costs a re-execution on
+resume, never correctness) and ``disk.torn_write`` (a prefix of the
+line lands, unsynced — exercising the reader's torn-tail skip).
+
+Concurrency: a journal file has exactly one writer (the run id embeds
+the pid and a serial), so appends need no lock; only the shared
+``latest`` pointer update takes the journal directory's file lock.
+Lock order: store lock before journal lock, never both ways.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional
+
+from repro import faults, obs
+from repro.errors import JournalError
+from repro.pipeline.fingerprint import make_key
+from repro.pipeline.grid import GridPoint, GridResult, result_from_dict
+from repro.util.atomicio import write_atomic
+from repro.util.locking import FileLock
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalState",
+    "JournalWriter",
+    "journal_dir",
+    "list_runs",
+    "resolve_run_id",
+    "spec_fingerprint",
+]
+
+JOURNAL_SCHEMA = 1
+_LATEST = "latest"
+_LOCK_NAME = ".lock"
+
+
+def journal_dir(store_root: os.PathLike) -> Path:
+    """Where a store's run journals live."""
+    return Path(store_root).expanduser() / "journal"
+
+
+def spec_fingerprint(spec: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of a grid spec (the point list
+    plus every result-shaping knob).  ``--resume`` refuses a journal
+    whose recorded fingerprint does not match its recorded spec, and
+    the fingerprint pins what the resumed run will execute."""
+    text = json.dumps(spec, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return make_key(["journal-spec", text])
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def new_run_id(jdir: Path) -> str:
+    """A unique, human-sortable run id: UTC stamp + pid (+ serial)."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    base = f"RUN_{stamp}-{os.getpid()}"
+    run_id, serial = base, 0
+    while (jdir / f"{run_id}.jsonl").exists():
+        serial += 1
+        run_id = f"{base}-{serial}"
+    return run_id
+
+
+def list_runs(jdir: os.PathLike) -> List[str]:
+    """Run ids with a journal file, newest-stamp first."""
+    try:
+        names = [p.stem for p in Path(jdir).glob("RUN_*.jsonl")]
+    except OSError:
+        return []
+    return sorted(names, reverse=True)
+
+
+def resolve_run_id(jdir: os.PathLike, token: str) -> str:
+    """Resolve a ``--resume`` argument: a literal run id, or
+    ``latest`` (the pointer file, falling back to the newest journal
+    on disk).  Raises :class:`JournalError` when nothing matches."""
+    jdir = Path(jdir)
+    if token != _LATEST:
+        if (jdir / f"{token}.jsonl").exists():
+            return token
+        raise JournalError(f"no journal for run id {token!r}",
+                           journal_dir=str(jdir))
+    try:
+        run_id = (jdir / _LATEST).read_text().strip()
+    except OSError:
+        run_id = ""
+    if run_id and (jdir / f"{run_id}.jsonl").exists():
+        return run_id
+    runs = list_runs(jdir)
+    if runs:
+        return runs[0]
+    raise JournalError("no journaled runs to resume",
+                       journal_dir=str(jdir))
+
+
+class JournalWriter:
+    """Single-writer append side of one run's journal.
+
+    Appends are fsync'd by default (``fsync=False`` trades durability
+    for speed).  Append failures are counted (``journal.errors``) and
+    swallowed: a lost record re-executes one point on resume, which is
+    always safe.
+    """
+
+    def __init__(self, jdir: Path, run_id: str, fh: IO[str],
+                 fsync: bool = True):
+        self.jdir = jdir
+        self.run_id = run_id
+        self.fsync = fsync
+        self.appends = 0
+        self.errors = 0
+        self._fh: Optional[IO[str]] = fh
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, jdir: os.PathLike, spec: Dict[str, Any],
+               fsync: bool = True,
+               run_id: Optional[str] = None) -> "JournalWriter":
+        """Start a fresh journal: write the header record and move the
+        ``latest`` pointer (under the journal directory's lock)."""
+        jdir = Path(jdir).expanduser()
+        jdir.mkdir(parents=True, exist_ok=True)
+        if run_id is None:
+            run_id = new_run_id(jdir)
+        fh = open(jdir / f"{run_id}.jsonl", "a")
+        writer = cls(jdir, run_id, fh, fsync=fsync)
+        writer._append({
+            "type": "header",
+            "schema": JOURNAL_SCHEMA,
+            "run_id": run_id,
+            "created": _utcnow(),
+            "pid": os.getpid(),
+            "total": len(spec.get("points", [])),
+            "fingerprint": spec_fingerprint(spec),
+            "spec": spec,
+        })
+        writer._point_latest()
+        obs.event("journal.created", cat="journal", run_id=run_id)
+        return writer
+
+    @classmethod
+    def reopen(cls, jdir: os.PathLike, run_id: str,
+               fsync: bool = True) -> "JournalWriter":
+        """Reopen an interrupted run's journal for a resume: appends a
+        ``resume`` record and points ``latest`` back at this run."""
+        jdir = Path(jdir).expanduser()
+        path = jdir / f"{run_id}.jsonl"
+        if not path.exists():
+            raise JournalError(f"no journal for run id {run_id!r}",
+                               journal_dir=str(jdir))
+        fh = open(path, "a")
+        writer = cls(jdir, run_id, fh, fsync=fsync)
+        writer._append({
+            "type": "resume",
+            "created": _utcnow(),
+            "pid": os.getpid(),
+        })
+        writer._point_latest()
+        obs.event("journal.resumed", cat="journal", run_id=run_id)
+        return writer
+
+    def _point_latest(self) -> None:
+        """Move the ``latest`` pointer to this run (journal-dir lock)."""
+        try:
+            with FileLock(self.jdir / _LOCK_NAME, timeout=10.0):
+                write_atomic(self.jdir / _LATEST, self.run_id + "\n",
+                             fsync=self.fsync)
+        except Exception:
+            self.errors += 1
+            obs.inc("journal.errors")
+
+    # -- the append path ---------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        try:
+            line = json.dumps(record, sort_keys=True, default=str) + "\n"
+            if faults.should_fire("disk.enospc"):
+                raise OSError("no space left on device (injected fault)")
+            if faults.should_fire("disk.torn_write"):
+                # A torn append: a prefix lands, nothing is synced.
+                self._fh.write(line[: max(len(line) // 2, 1)])
+                self._fh.flush()
+                self.appends += 1
+                obs.inc("journal.appends")
+                return
+            self._fh.write(line)
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+                obs.inc("journal.fsyncs")
+        except (OSError, ValueError, TypeError):
+            self.errors += 1
+            obs.inc("journal.errors")
+            return
+        self.appends += 1
+        obs.inc("journal.appends")
+
+    # -- state transitions -------------------------------------------------
+
+    def wave(self, wave: int, pending: int) -> None:
+        self._append({"type": "wave", "wave": wave, "pending": pending,
+                      "t": round(time.time(), 3)})
+
+    def point_started(self, index: int, point: GridPoint) -> None:
+        self._append({"type": "start", "i": index,
+                      "label": point.label()})
+
+    def point_done(self, index: int, result: GridResult) -> None:
+        """The commit record: once this line is durable, a resume will
+        serve the point instead of re-executing it."""
+        self._append({"type": "done", "i": index,
+                      "ok": result.ok,
+                      "result": result.as_dict()})
+        obs.inc("journal.points_journaled")
+
+    def end(self, status: str, executed: int) -> None:
+        self._append({"type": "end", "status": status,
+                      "executed": executed, "created": _utcnow()})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Parsed read side of one run's journal."""
+
+    path: Path
+    header: Optional[Dict[str, Any]] = None
+    finished: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    started: int = 0
+    waves: int = 0
+    resumes: int = 0
+    ended: Optional[str] = None
+    bad_lines: int = 0
+    torn_tail: bool = False
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "JournalState":
+        """Parse a journal leniently: a torn final line (the crash
+        window) is skipped and counted; a garbled interior line (a torn
+        append that later appends ran into) loses at most the records
+        on that line — their points simply re-execute."""
+        path = Path(path)
+        state = cls(path=path)
+        try:
+            with open(path) as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal: {exc}",
+                               journal=str(path)) from exc
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if lineno == len(lines) - 1:
+                    state.torn_tail = True
+                    obs.inc("journal.torn_tail")
+                else:
+                    state.bad_lines += 1
+                    obs.inc("journal.bad_lines")
+                continue
+            state._apply(record)
+        if state.header is None:
+            raise JournalError(
+                "journal has no readable header record",
+                journal=str(path))
+        return state
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        rtype = record.get("type")
+        if rtype == "header" and self.header is None:
+            self.header = record
+        elif rtype == "resume":
+            self.resumes += 1
+        elif rtype == "wave":
+            self.waves += 1
+        elif rtype == "start":
+            self.started += 1
+        elif rtype == "done":
+            try:
+                self.finished[int(record["i"])] = record["result"]
+            except (KeyError, TypeError, ValueError):
+                self.bad_lines += 1
+                obs.inc("journal.bad_lines")
+        elif rtype == "end":
+            self.ended = str(record.get("status"))
+
+    # -- the resume contract -----------------------------------------------
+
+    @property
+    def run_id(self) -> str:
+        return str(self.header.get("run_id", self.path.stem))
+
+    @property
+    def spec(self) -> Dict[str, Any]:
+        return dict(self.header.get("spec") or {})
+
+    @property
+    def complete(self) -> bool:
+        return self.ended == "complete"
+
+    def validate(self) -> None:
+        """Refuse to resume from a journal whose spec does not hash to
+        its recorded fingerprint (damaged header, or hand-edited)."""
+        spec = self.header.get("spec")
+        recorded = self.header.get("fingerprint")
+        if not spec or not recorded:
+            raise JournalError(
+                "journal header carries no spec/fingerprint",
+                journal=str(self.path))
+        actual = spec_fingerprint(spec)
+        if actual != recorded:
+            raise JournalError(
+                "spec fingerprint mismatch: journal records "
+                f"{recorded[:12]}… but its spec hashes to "
+                f"{actual[:12]}… — refusing to resume a damaged or "
+                "edited journal",
+                journal=str(self.path))
+
+    def points(self) -> List[GridPoint]:
+        """The full grid the journaled run was executing."""
+        try:
+            return [GridPoint(**p) for p in self.spec["points"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(
+                f"journal spec does not describe a point list: {exc}",
+                journal=str(self.path)) from exc
+
+    def finished_results(self) -> Dict[int, GridResult]:
+        """Rehydrated terminal results, index → GridResult, served
+        verbatim by a resumed run."""
+        out: Dict[int, GridResult] = {}
+        for i, d in sorted(self.finished.items()):
+            try:
+                out[i] = result_from_dict(d)
+            except (KeyError, TypeError, ValueError):
+                self.bad_lines += 1
+                obs.inc("journal.bad_lines")
+        return out

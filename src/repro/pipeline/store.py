@@ -30,30 +30,53 @@ key.  Storing a new key for a known coordinate deletes the stale entry
 and counts an **invalidation** — the observable difference between "new
 point" and "this app changed".
 
-Durability mirrors :mod:`repro.pipeline.cache`: atomic writes (temp
-file + rename), corrupt entries treated as misses and deleted, never an
-exception out of a read, and an entry-count cap with oldest-first
-eviction (like the quarantine cap).  Counters flow both into
-:class:`StoreStats` (always on) and ``repro.obs`` (``store.*``).
+Durability mirrors :mod:`repro.pipeline.cache`, hardened further:
+
+* every write goes through :func:`repro.util.atomicio.write_atomic`
+  (temp file + fsync + rename + directory fsync), so a reader only
+  ever sees a complete entry or none;
+* every entry carries a SHA-256 **payload checksum**; reads verify it,
+  and a corrupt entry (torn write, bit rot, key mismatch) is moved to
+  the store's ``quarantine/`` directory — capped like the disk cache's
+  :data:`~repro.pipeline.cache.QUARANTINE_KEEP` — counted
+  (``store.quarantined``) and reported as a miss, never raised;
+* mutations (``put``, eviction) run under an advisory cross-process
+  :class:`~repro.util.locking.FileLock` on ``<root>/.lock`` and reload
+  the coordinate index from disk inside the critical section, so two
+  drivers sharing one ``--store-dir`` cannot lose index updates or
+  race the eviction scan.  Reads stay lock-free (atomic writes plus
+  checksums make them safe).  A lock-acquisition timeout degrades the
+  write (counted ``store.lock_timeouts``) instead of failing the run.
+
+``repro fsck`` (:mod:`repro.pipeline.integrity`) audits all of the
+above offline and repairs/quarantines what it finds.  Counters flow
+both into :class:`StoreStats` (always on) and ``repro.obs``
+(``store.*``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional
 
 from repro import obs
+from repro.errors import LockError
 from repro.pipeline.fingerprint import make_key
+from repro.util.atomicio import write_atomic
+from repro.util.locking import FileLock
 
 __all__ = [
     "MODEL_VERSION",
+    "QUARANTINE_KEEP",
     "SCHEMA_VERSION",
     "ResultStore",
     "StoreStats",
+    "canonical_payload",
+    "payload_checksum",
     "resolve_store_dir",
     "result_key",
 ]
@@ -71,8 +94,30 @@ MODEL_VERSION = "sim-v1"
 # keep the most recently useful evidence.
 DEFAULT_KEEP = 4096
 
+# Quarantined (corrupt) entries kept for post-mortem, newest first —
+# same policy and cap as the disk cache's quarantine.
+QUARANTINE_KEEP = 32
+
 ENV_DIR = "REPRO_STORE_DIR"
 _INDEX_NAME = "coords.json"
+_LOCK_NAME = ".lock"
+DEFAULT_LOCK_TIMEOUT = 30.0
+
+
+def canonical_payload(payload: Any) -> str:
+    """The canonical JSON text a payload checksum is computed over.
+
+    Idempotent across a JSON round trip (``dumps(loads(dumps(x)))`` is
+    the same text), so a checksum written at ``put`` time can be
+    verified against the parsed-back payload at read/fsck time.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":"), default=str)
+
+
+def payload_checksum(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical payload text."""
+    return hashlib.sha256(canonical_payload(payload).encode()).hexdigest()
 
 
 def resolve_store_dir(explicit: Optional[str] = None) -> Path:
@@ -115,6 +160,8 @@ class StoreStats:
     invalidations: int = 0
     evictions: int = 0
     corrupt: int = 0
+    quarantined: int = 0
+    lock_timeouts: int = 0
     errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -125,6 +172,8 @@ class StoreStats:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "lock_timeouts": self.lock_timeouts,
             "errors": self.errors,
         }
 
@@ -132,17 +181,21 @@ class StoreStats:
 class ResultStore:
     """Atomic on-disk JSON store of grid-point results.
 
-    The store is driver-side only: the grid engine consults it before
-    dispatching points and writes results back after execution, so
-    worker processes never touch it and no cross-process locking is
-    needed.
+    The store is driver-side only (workers never touch it), but two
+    *drivers* may share one directory: mutations take the store's
+    cross-process file lock and re-read the coordinate index inside
+    the critical section, so concurrent drivers interleave safely.
     """
 
-    def __init__(self, root: os.PathLike, keep: int = DEFAULT_KEEP):
+    def __init__(self, root: os.PathLike, keep: int = DEFAULT_KEEP,
+                 lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+                 fsync: bool = True):
         if keep <= 0:
             raise ValueError("store keep cap must be positive")
         self.root = Path(root).expanduser()
         self.keep = keep
+        self.lock_timeout = lock_timeout
+        self.fsync = fsync
         self.stats = StoreStats()
         self._index: Optional[Dict[str, str]] = None
 
@@ -158,10 +211,19 @@ class ResultStore:
     def _index_path(self) -> Path:
         return self._dir / _INDEX_NAME
 
+    def _quarantine_dir(self) -> Path:
+        return self._dir / "quarantine"
+
+    def _lock(self) -> FileLock:
+        return FileLock(self.root / _LOCK_NAME, timeout=self.lock_timeout)
+
     # -- coordinate index --------------------------------------------------
 
-    def _load_index(self) -> Dict[str, str]:
-        if self._index is not None:
+    def _load_index(self, refresh: bool = False) -> Dict[str, str]:
+        """The coordinate index.  ``refresh`` re-reads it from disk —
+        mandatory inside locked sections, where another process may
+        have written a newer version since we last looked."""
+        if self._index is not None and not refresh:
             return self._index
         try:
             with open(self._index_path()) as fh:
@@ -175,11 +237,11 @@ class ResultStore:
         if self._index is None:
             return
         try:
-            self._dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(self._dir), suffix=".tmp")
-            with os.fdopen(fd, "w") as fh:
-                json.dump(self._index, fh, indent=0, sort_keys=True)
-            os.replace(tmp, self._index_path())
+            write_atomic(
+                self._index_path(),
+                json.dumps(self._index, indent=0, sort_keys=True),
+                fsync=self.fsync,
+            )
         except OSError:
             self.stats.errors += 1
             obs.inc("store.errors")
@@ -189,8 +251,10 @@ class ResultStore:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` on a miss.
 
-        A corrupt entry (truncated, garbage) is deleted, counted, and
-        reported as a miss — a read never raises.
+        A corrupt entry (truncated, garbage, checksum or key mismatch)
+        is *quarantined* — moved into the store's ``quarantine/``
+        directory for post-mortem, never silently deleted — counted,
+        and reported as a miss.  A read never raises.
         """
         path = self._path(key)
         try:
@@ -199,54 +263,102 @@ class ResultStore:
             if entry.get("key") != key:
                 raise ValueError("key mismatch")
             payload = entry["payload"]
+            recorded = entry.get("sha256")
+            if recorded is not None \
+                    and recorded != payload_checksum(payload):
+                raise ValueError("payload checksum mismatch")
         except OSError:
             self.stats.misses += 1
             obs.inc("store.misses")
             return None
-        except Exception:
+        except Exception as exc:
             self.stats.corrupt += 1
             self.stats.misses += 1
             obs.inc("store.corrupt")
             obs.inc("store.misses")
-            obs.event("store.corrupt", cat="store", key=key)
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            obs.event("store.corrupt", cat="store", key=key,
+                      error=str(exc))
+            self.quarantine(path)
             return None
         self.stats.hits += 1
         obs.inc("store.hits")
         return payload
 
+    def quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into ``quarantine/`` (best effort — on
+        failure the file is deleted; on *that* failing, ignored), and
+        prune the quarantine to the newest :data:`QUARANTINE_KEEP`."""
+        try:
+            qdir = self._quarantine_dir()
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                return
+        self.stats.quarantined += 1
+        obs.inc("store.quarantined")
+        self._prune_quarantine()
+
+    def _prune_quarantine(self) -> None:
+        try:
+            entries = sorted(
+                (p for p in self._quarantine_dir().iterdir()
+                 if p.is_file()),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return
+        for stale in entries[QUARANTINE_KEEP:]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                continue
+            obs.inc("store.quarantine.evicted")
+
     def put(self, key: str, payload: Dict[str, Any],
             coord: Optional[str] = None) -> None:
-        """Store ``payload`` under ``key`` (atomic; failures counted,
-        never raised).
+        """Store ``payload`` under ``key`` (atomic, fsync'd, checksummed;
+        failures counted, never raised).
 
         ``coord`` is the grid coordinate this entry answers; when the
         coordinate previously mapped to a *different* key, the stale
-        entry is deleted and counted as an invalidation.
+        entry is deleted and counted as an invalidation.  The whole
+        mutation runs under the store's cross-process lock, with the
+        index re-read inside the critical section, so concurrent
+        drivers cannot lose each other's updates.
         """
+        try:
+            lock = self._lock().acquire()
+        except LockError:
+            self.stats.lock_timeouts += 1
+            self.stats.errors += 1
+            obs.inc("store.lock_timeouts")
+            obs.event("store.error", cat="store", op="put", key=key,
+                      error="LockError")
+            return
+        try:
+            self._put_locked(key, payload, coord)
+        finally:
+            lock.release()
+
+    def _put_locked(self, key: str, payload: Dict[str, Any],
+                    coord: Optional[str]) -> None:
         path = self._path(key)
         entry = {
             "schema": SCHEMA_VERSION,
             "key": key,
             "coord": coord,
+            "sha256": payload_checksum(payload),
             "payload": payload,
         }
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(entry, fh, sort_keys=True, default=str)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            write_atomic(
+                path, json.dumps(entry, sort_keys=True, default=str),
+                fsync=self.fsync,
+            )
         except Exception as exc:
             self.stats.errors += 1
             obs.inc("store.errors")
@@ -256,7 +368,7 @@ class ResultStore:
         self.stats.stores += 1
         obs.inc("store.stores")
         if coord is not None:
-            index = self._load_index()
+            index = self._load_index(refresh=True)
             stale = index.get(coord)
             if stale is not None and stale != key:
                 self.stats.invalidations += 1
@@ -282,7 +394,8 @@ class ResultStore:
             return []
 
     def _evict(self) -> None:
-        """Drop oldest entries (by mtime) beyond the ``keep`` cap."""
+        """Drop oldest entries (by mtime) beyond the ``keep`` cap.
+        Caller holds the store lock (this mutates the index)."""
         entries = list(self._entries())
         if len(entries) <= self.keep:
             return

@@ -1,0 +1,215 @@
+"""Advisory cross-process file locking with timeout and stale-break.
+
+Two grid drivers sharing one ``--store-dir`` must not interleave
+read-modify-write cycles on the store's coordinate index, race its
+eviction scan, or both rewrite the journal's ``latest`` pointer.
+:class:`FileLock` serializes those critical sections:
+
+* **primary mode** (POSIX): ``fcntl.flock`` on a long-lived lock file.
+  The kernel owns the lock, so a crashed holder releases it
+  automatically — there are no stale locks to break.
+* **fallback mode** (no ``fcntl``, or ``use_fcntl=False``):
+  ``O_CREAT | O_EXCL`` lock files carrying ``pid:timestamp``.  A lock
+  whose owning pid is dead, or whose age exceeds ``stale_after``
+  seconds, is *broken* (unlinked and re-acquired) — the classic
+  stale-lock policy for lock files that can outlive their owner.
+
+Both modes poll with ``poll`` seconds of sleep until ``timeout``, then
+raise :class:`~repro.errors.LockError`.  The lock file records the
+holder's pid and acquisition time in both modes for diagnostics.
+
+Lock acquisition order (deadlock avoidance, see DESIGN.md): a process
+that needs both takes the **store lock before the journal lock**, and
+never acquires the same :class:`FileLock` re-entrantly.
+
+Counters: ``lock.acquired``, ``lock.contended`` (had to wait),
+``lock.timeouts``, ``lock.stale_broken``, and ``lock.wait_ms`` (total
+milliseconds spent waiting).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro import obs
+from repro.errors import LockError
+
+try:  # pragma: no cover - always present on the POSIX CI hosts
+    import fcntl
+except ImportError:  # pragma: no cover - win32
+    fcntl = None
+
+__all__ = ["FileLock"]
+
+DEFAULT_TIMEOUT = 30.0
+DEFAULT_POLL = 0.05
+DEFAULT_STALE_AFTER = 300.0
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class FileLock:
+    """An advisory inter-process lock on ``path`` (a dedicated lock
+    file, not the resource itself).  Context-manager friendly::
+
+        with FileLock(store_dir / ".lock", timeout=10):
+            ...critical section...
+
+    Not re-entrant and not thread-safe — one instance guards one
+    acquisition.
+    """
+
+    def __init__(self, path: os.PathLike, timeout: float = DEFAULT_TIMEOUT,
+                 poll: float = DEFAULT_POLL,
+                 stale_after: float = DEFAULT_STALE_AFTER,
+                 use_fcntl: Optional[bool] = None):
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll = poll
+        self.stale_after = stale_after
+        self._fcntl = (fcntl is not None) if use_fcntl is None \
+            else (use_fcntl and fcntl is not None)
+        self._fd: Optional[int] = None
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    # -- acquisition -------------------------------------------------------
+
+    def acquire(self) -> "FileLock":
+        if self._held:
+            raise LockError("lock is not re-entrant",
+                            lock=str(self.path))
+        deadline = time.monotonic() + self.timeout
+        waited = False
+        start = time.monotonic()
+        while True:
+            if self._try_acquire():
+                obs.inc("lock.acquired")
+                if waited:
+                    obs.inc("lock.contended")
+                    obs.counter("lock.wait_ms").add(
+                        (time.monotonic() - start) * 1000.0)
+                self._held = True
+                return self
+            waited = True
+            if time.monotonic() >= deadline:
+                obs.inc("lock.timeouts")
+                obs.event("lock.timeout", cat="lock",
+                          lock=str(self.path), timeout=self.timeout)
+                raise LockError(
+                    f"could not acquire lock within {self.timeout:g}s",
+                    lock=str(self.path))
+            time.sleep(self.poll)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        if self._fcntl:
+            if self._fd is not None:
+                try:
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+                self._fd = None
+        else:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- one attempt -------------------------------------------------------
+
+    def _try_acquire(self) -> bool:
+        if self._fcntl:
+            return self._try_flock()
+        return self._try_exclusive()
+
+    def _try_flock(self) -> bool:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(self.path), os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError as exc:
+            raise LockError(f"cannot open lock file: {exc}",
+                            lock=str(self.path)) from exc
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        self._stamp(fd)
+        return True
+
+    def _try_exclusive(self) -> bool:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(self.path),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            self._maybe_break_stale()
+            return False
+        except OSError as exc:
+            raise LockError(f"cannot create lock file: {exc}",
+                            lock=str(self.path)) from exc
+        self._stamp(fd)
+        os.close(fd)
+        return True
+
+    def _stamp(self, fd: int) -> None:
+        try:
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()}:{time.time():.3f}\n".encode())
+        except OSError:
+            pass
+
+    def _maybe_break_stale(self) -> None:
+        """Fallback mode only: unlink a lock whose holder is provably
+        gone (dead pid) or that has outlived ``stale_after`` seconds."""
+        try:
+            text = self.path.read_text().strip()
+            pid_s, _, ts_s = text.partition(":")
+            pid = int(pid_s)
+            ts = float(ts_s) if ts_s else 0.0
+        except (OSError, ValueError):
+            pid, ts = -1, 0.0
+        stale = not _pid_alive(pid)
+        if not stale and self.stale_after is not None and ts:
+            stale = (time.time() - ts) > self.stale_after
+        if not stale:
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            return
+        obs.inc("lock.stale_broken")
+        obs.event("lock.stale_broken", cat="lock", lock=str(self.path),
+                  holder_pid=pid)

@@ -54,6 +54,21 @@ class TestFaultPlan:
         again = faults.FaultPlan.parse(plan.spec())
         assert again == plan
 
+    def test_disk_and_driver_sites_are_valid(self):
+        plan = faults.FaultPlan.parse(
+            "seed=1,disk.enospc=0.2,disk.torn_write=0.3,driver.kill=1.0"
+        )
+        assert plan.rate("disk.enospc") == 0.2
+        assert plan.rate("disk.torn_write") == 0.3
+        assert plan.rate("driver.kill") == 1.0
+        assert faults.FaultPlan.parse(plan.spec()) == plan
+
+    def test_driver_kill_is_noop_when_inactive(self):
+        # Unconfigured: must never signal the calling process.
+        faults.maybe_driver_kill()
+        faults.configure("seed=1,driver.kill=0.0")
+        faults.maybe_driver_kill()  # rate 0: also a no-op
+
     def test_parse_rejects_unknown_site(self):
         with pytest.raises(ValueError, match="unknown fault site"):
             faults.FaultPlan.parse("bogus=0.5")

@@ -256,3 +256,148 @@ class TestVerifyGridStore:
                 (b.program, b.scheme, b.nprocs)
             assert a.phases_checked == b.phases_checked
             assert a.elements_checked == b.elements_checked
+
+
+class TestJournalledRunGrid:
+    """run_grid's journal/preset/shutdown layer, in-process."""
+
+    def _points(self):
+        return make_grid(["simple"], ["base", "comp", "data"], [1],
+                         **GRID_KW)
+
+    def test_preset_points_served_verbatim(self):
+        points = self._points()
+        first = run_grid(points)
+        preset = {0: first[0], 2: first[2]}
+        again = run_grid(points, preset=preset)
+        # Served verbatim: the very same objects, in grid order, with
+        # identical simulation outcomes.  (Pass-counter bit-identity
+        # across a resume is a disk-cache property — covered by
+        # test_resume_after_shutdown_completes_the_grid.)
+        assert again[0] is preset[0]
+        assert again[2] is preset[2]
+        assert [r.point for r in again] == [r.point for r in first]
+        for a, b in zip(again, first):
+            assert a.total_time == b.total_time
+            assert a.n_accesses == b.n_accesses
+            assert a.miss_breakdown == b.miss_breakdown
+
+    def test_journal_records_every_point(self, tmp_path):
+        from dataclasses import asdict
+
+        from repro.pipeline.journal import JournalState, JournalWriter
+
+        points = self._points()
+        spec = {"points": [asdict(p) for p in points]}
+        journal = JournalWriter.create(tmp_path, spec)
+        results = run_grid(points, journal=journal)
+        journal.end("complete", executed=len(results))
+        journal.close()
+        state = JournalState.load(tmp_path / f"{journal.run_id}.jsonl")
+        state.validate()
+        assert state.complete
+        assert state.points() == points
+        finished = state.finished_results()
+        assert sorted(finished) == list(range(len(points)))
+        for i, r in enumerate(results):
+            assert finished[i].as_dict() == r.as_dict()
+
+    def test_store_served_points_are_journaled(self, tmp_path):
+        from dataclasses import asdict
+
+        from repro.pipeline.journal import JournalState, JournalWriter
+
+        points = self._points()
+        store = ResultStore(tmp_path / "store")
+        run_grid(points, store=store)  # populate
+        spec = {"points": [asdict(p) for p in points]}
+        journal = JournalWriter.create(tmp_path / "journal", spec)
+        warm = run_grid(points, store=store, incremental=True,
+                        journal=journal)
+        journal.close()
+        assert all(r.store_hit for r in warm)
+        state = JournalState.load(
+            tmp_path / "journal" / f"{journal.run_id}.jsonl")
+        assert sorted(state.finished_results()) == \
+            list(range(len(points)))
+
+    def test_triggered_shutdown_stops_serial_dispatch(self):
+        from repro.pipeline.grid import GracefulShutdown
+
+        points = self._points()
+        shutdown = GracefulShutdown()
+        seen = []
+
+        class Hook:
+            """Journal stand-in that pulls the plug mid-run."""
+            def point_started(self, i, point):
+                pass
+
+            def wave(self, wave, pending):
+                pass
+
+            def point_done(self, i, result):
+                seen.append(i)
+                if len(seen) == 1:
+                    shutdown.trigger(signum=15)
+
+        results = run_grid(points, journal=Hook(), shutdown=shutdown)
+        # First point finished and was journaled; the rest were never
+        # dispatched (absent, not failed) — resume picks them up.
+        assert len(results) == 1
+        assert seen == [0]
+
+    def test_resume_after_shutdown_completes_the_grid(self, tmp_path):
+        from repro.pipeline.grid import GracefulShutdown
+
+        points = self._points()
+        shutdown = GracefulShutdown()
+
+        class Hook:
+            def __init__(self):
+                self.done = {}
+
+            def point_started(self, i, point):
+                pass
+
+            def wave(self, wave, pending):
+                pass
+
+            def point_done(self, i, result):
+                self.done[i] = result
+                if len(self.done) == 1:
+                    shutdown.trigger(signum=15)
+
+        hook = Hook()
+        # The interrupted and resuming runs share one disk cache; the
+        # reference run gets its own cold one (see DESIGN.md).
+        disk = str(tmp_path / "cache-a")
+        partial = run_grid(points, journal=hook, shutdown=shutdown,
+                           disk_dir=disk)
+        assert len(partial) == 1
+        resumed = run_grid(points, preset=dict(hook.done),
+                           disk_dir=disk)
+        assert len(resumed) == len(points)
+        reference = run_grid(points,
+                             disk_dir=str(tmp_path / "cache-b"))
+        assert summarize(resumed) == summarize(reference)
+
+    def test_install_restores_signal_handlers(self):
+        import signal as signal_mod
+
+        from repro.pipeline.grid import GracefulShutdown
+
+        before = signal_mod.getsignal(signal_mod.SIGTERM)
+        shutdown = GracefulShutdown()
+        with shutdown.install():
+            assert signal_mod.getsignal(signal_mod.SIGTERM) != before
+        assert signal_mod.getsignal(signal_mod.SIGTERM) == before
+
+    def test_second_trigger_expires_drain(self):
+        from repro.pipeline.grid import GracefulShutdown
+
+        shutdown = GracefulShutdown(drain_seconds=3600.0)
+        shutdown.trigger(signum=2)
+        assert not shutdown.drain_expired()
+        shutdown.trigger(signum=2)  # impatient second Ctrl-C
+        assert shutdown.drain_expired()

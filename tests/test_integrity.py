@@ -1,0 +1,204 @@
+"""``repro fsck`` (``repro.pipeline.integrity``): entry verification,
+repair, quarantine, and index reconciliation."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import IntegrityError
+from repro.pipeline.integrity import fsck_store
+from repro.pipeline.store import ResultStore, result_key
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _seed(store, n=3):
+    keys = []
+    for i in range(n):
+        k = result_key("p", "comp", i + 1, "m")
+        store.put(k, {"v": i}, coord=f"c{i}")
+        keys.append(k)
+    return keys
+
+
+class TestCleanStore:
+    def test_clean_report(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _seed(store)
+        report = fsck_store(store)
+        assert report.scanned == 3
+        assert report.ok == 3
+        assert report.clean
+        assert report.damage == 0
+
+    def test_empty_store_is_clean(self, tmp_path):
+        report = fsck_store(ResultStore(tmp_path))
+        assert report.scanned == 0
+        assert report.clean
+
+    def test_report_dict_shape(self, tmp_path):
+        report = fsck_store(ResultStore(tmp_path))
+        d = report.as_dict()
+        for field in ("scanned", "ok", "repaired", "quarantined",
+                      "checksum_mismatch", "key_mismatch",
+                      "index_dropped", "index_added", "clean",
+                      "problems"):
+            assert field in d
+
+
+class TestEntryDamage:
+    def test_unparseable_entry_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        path = store._path(keys[0])
+        path.write_text("{garbage")
+        report = fsck_store(store)
+        assert report.unparseable == 1
+        assert report.quarantined == 1
+        assert not report.clean
+        assert not path.exists()
+        assert (store._quarantine_dir() / path.name).exists()
+        # The dangling index coordinate is dropped alongside.
+        assert report.index_dropped == 1
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        path = store._path(keys[0])
+        entry = json.loads(path.read_text())
+        entry["payload"] = {"v": 999}
+        path.write_text(json.dumps(entry))
+        report = fsck_store(store)
+        assert report.checksum_mismatch == 1
+        assert report.quarantined == 1
+        assert not path.exists()
+
+    def test_key_mismatch_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        path = store._path(keys[0])
+        entry = json.loads(path.read_text())
+        entry["key"] = "f" * 64
+        path.write_text(json.dumps(entry))
+        report = fsck_store(store)
+        assert report.key_mismatch == 1
+        assert report.quarantined == 1
+
+    def test_missing_payload_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        path = store._path(keys[0])
+        entry = json.loads(path.read_text())
+        del entry["payload"]
+        path.write_text(json.dumps(entry))
+        report = fsck_store(store)
+        assert report.missing_payload == 1
+        assert report.quarantined == 1
+
+    def test_legacy_entry_without_checksum_is_repaired(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        path = store._path(keys[0])
+        entry = json.loads(path.read_text())
+        del entry["sha256"]
+        path.write_text(json.dumps(entry))
+        report = fsck_store(store)
+        assert report.missing_checksum == 1
+        assert report.repaired == 1
+        assert report.quarantined == 0
+        # The repaired entry now verifies — and still serves.
+        assert store.get(keys[0]) == {"v": 0}
+        assert fsck_store(store).clean
+
+    def test_repair_converges(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        store._path(keys[0]).write_text("{garbage")
+        entry_path = store._path(keys[1])
+        entry = json.loads(entry_path.read_text())
+        del entry["sha256"]
+        entry_path.write_text(json.dumps(entry))
+        first = fsck_store(store)
+        assert not first.clean
+        second = fsck_store(store)
+        assert second.clean
+        assert second.scanned == 2  # quarantined entry gone from scan
+
+
+class TestNoRepair:
+    def test_report_only_leaves_damage_in_place(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        path = store._path(keys[0])
+        path.write_text("{garbage")
+        report = fsck_store(store, repair=False)
+        assert report.unparseable == 1
+        assert report.quarantined == 0
+        assert not report.clean
+        assert path.exists()  # untouched
+        # A second report-only pass finds the same damage.
+        assert not fsck_store(store, repair=False).clean
+
+
+class TestIndexReconciliation:
+    def test_dangling_coord_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _seed(store)
+        index = json.loads(store._index_path().read_text())
+        index["phantom"] = "ab" * 32
+        store._index_path().write_text(json.dumps(index))
+        report = fsck_store(store)
+        assert report.index_dropped == 1
+        fixed = json.loads(store._index_path().read_text())
+        assert "phantom" not in fixed
+
+    def test_missing_coord_added(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _seed(store)
+        index = json.loads(store._index_path().read_text())
+        del index["c0"]
+        store._index_path().write_text(json.dumps(index))
+        report = fsck_store(store)
+        assert report.index_added == 1
+        fixed = json.loads(store._index_path().read_text())
+        assert fixed["c0"] == keys[0]
+
+    def test_duplicate_coord_newest_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        k1 = result_key("p1", "comp", 4, "m")
+        k2 = result_key("p2", "comp", 4, "m")
+        store.put(k1, {"v": 1}, coord="shared")
+        # Forge a second entry claiming the same coordinate (put()
+        # would have invalidated; simulate a crash that left both).
+        store.put(k2, {"v": 2}, coord="other")
+        path2 = store._path(k2)
+        entry = json.loads(path2.read_text())
+        entry["coord"] = "shared"
+        from repro.pipeline.store import payload_checksum
+        entry["sha256"] = payload_checksum(entry["payload"])
+        path2.write_text(json.dumps(entry))
+        os.utime(store._path(k1), (100, 100))
+        os.utime(path2, (200, 200))
+        report = fsck_store(store)
+        assert report.index_duplicates == 1
+        fixed = json.loads(store._index_path().read_text())
+        assert fixed["shared"] == k2  # newest
+
+
+class TestLocking:
+    def test_refuses_locked_store(self, tmp_path):
+        store = ResultStore(tmp_path, lock_timeout=0.15)
+        _seed(store)
+        with store._lock():
+            with pytest.raises(IntegrityError, match="locked"):
+                fsck_store(store)
+        assert fsck_store(store).clean  # free again

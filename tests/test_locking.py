@@ -1,0 +1,161 @@
+"""Cross-process advisory file locking (``repro.util.locking``):
+mutual exclusion, timeouts, stale-lock breaking, and the store's
+lock-timeout degradation path."""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.errors import LockError
+from repro.util.locking import FileLock
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(params=[True, False], ids=["fcntl", "fallback"])
+def mode(request):
+    """Both implementations: kernel flock and O_EXCL lock files."""
+    return request.param
+
+
+class TestFileLock:
+    def test_acquire_release(self, tmp_path, mode):
+        lock = FileLock(tmp_path / ".lock", use_fcntl=mode)
+        lock.acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+
+    def test_context_manager(self, tmp_path, mode):
+        with FileLock(tmp_path / ".lock", use_fcntl=mode) as lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_mutual_exclusion(self, tmp_path, mode):
+        path = tmp_path / ".lock"
+        a = FileLock(path, use_fcntl=mode)
+        b = FileLock(path, timeout=0.2, poll=0.02, use_fcntl=mode)
+        a.acquire()
+        with pytest.raises(LockError):
+            b.acquire()
+        a.release()
+        b.acquire()  # now free
+        b.release()
+
+    def test_not_reentrant(self, tmp_path, mode):
+        lock = FileLock(tmp_path / ".lock", use_fcntl=mode)
+        lock.acquire()
+        with pytest.raises(LockError, match="re-entrant"):
+            lock.acquire()
+        lock.release()
+
+    def test_release_is_idempotent(self, tmp_path, mode):
+        lock = FileLock(tmp_path / ".lock", use_fcntl=mode)
+        lock.acquire()
+        lock.release()
+        lock.release()
+
+    def test_records_holder_pid(self, tmp_path, mode):
+        path = tmp_path / ".lock"
+        with FileLock(path, use_fcntl=mode):
+            pid_s = path.read_text().split(":", 1)[0]
+            assert int(pid_s) == os.getpid()
+
+    def test_timeout_counter(self, tmp_path, mode):
+        obs.enable(reset=True)
+        path = tmp_path / ".lock"
+        with FileLock(path, use_fcntl=mode):
+            with pytest.raises(LockError):
+                FileLock(path, timeout=0.1, poll=0.02,
+                         use_fcntl=mode).acquire()
+        assert obs.collector().metrics.counter("lock.timeouts").value == 1
+
+
+class TestStaleBreaking:
+    def test_dead_pid_is_broken(self, tmp_path):
+        path = tmp_path / ".lock"
+        # A plausibly-dead pid: fork a child that exits immediately.
+        proc = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True, text=True, check=True)
+        dead_pid = int(proc.stdout.strip())
+        path.write_text(f"{dead_pid}:{time.time():.3f}\n")
+        lock = FileLock(path, timeout=2.0, poll=0.02, use_fcntl=False)
+        lock.acquire()  # stale lock broken, not a timeout
+        assert lock.held
+        lock.release()
+
+    def test_old_timestamp_is_broken(self, tmp_path):
+        path = tmp_path / ".lock"
+        # Live pid (ours) but ancient stamp: age-based break.
+        path.write_text(f"{os.getpid()}:{time.time() - 9999:.3f}\n")
+        lock = FileLock(path, timeout=2.0, poll=0.02,
+                        stale_after=300.0, use_fcntl=False)
+        lock.acquire()
+        lock.release()
+
+    def test_live_fresh_lock_is_respected(self, tmp_path):
+        path = tmp_path / ".lock"
+        path.write_text(f"{os.getpid()}:{time.time():.3f}\n")
+        lock = FileLock(path, timeout=0.15, poll=0.02,
+                        use_fcntl=False)
+        with pytest.raises(LockError):
+            lock.acquire()
+
+    def test_garbage_lock_file_is_broken_by_dead_pid_rule(self, tmp_path):
+        path = tmp_path / ".lock"
+        path.write_text("not-a-pid\n")
+        lock = FileLock(path, timeout=2.0, poll=0.02, use_fcntl=False)
+        lock.acquire()
+        lock.release()
+
+
+class TestCrossProcess:
+    def test_flock_excludes_other_process(self, tmp_path):
+        """A real second process cannot acquire while we hold."""
+        path = tmp_path / ".lock"
+        holder = FileLock(path).acquire()
+        code = (
+            "import sys; sys.path.insert(0, %r)\n"
+            "from repro.errors import LockError\n"
+            "from repro.util.locking import FileLock\n"
+            "try:\n"
+            "    FileLock(%r, timeout=0.3, poll=0.02).acquire()\n"
+            "except LockError:\n"
+            "    sys.exit(42)\n"
+            "sys.exit(0)\n"
+        ) % (SRC, str(path))
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 42
+        holder.release()
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 0
+
+
+class TestStoreLockDegradation:
+    def test_put_degrades_on_lock_timeout(self, tmp_path):
+        from repro.pipeline.store import ResultStore, result_key
+
+        store = ResultStore(tmp_path, lock_timeout=0.15)
+        key = result_key("p", "comp", 4, "m")
+        with store._lock():
+            store.put(key, {"v": 1})  # cannot get the lock
+        assert store.stats.lock_timeouts == 1
+        assert store.stats.errors == 1
+        assert store.get(key) is None  # write was skipped, not torn
+        store.put(key, {"v": 1})  # lock free again
+        assert store.get(key) == {"v": 1}

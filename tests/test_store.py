@@ -11,7 +11,9 @@ from repro.machine.cost import CostParams
 from repro.machine.dash import dash_machine, scaled_dash
 from repro.pipeline.store import (
     MODEL_VERSION,
+    QUARANTINE_KEEP,
     ResultStore,
+    payload_checksum,
     resolve_store_dir,
     result_key,
 )
@@ -163,7 +165,7 @@ class TestResultStore:
         assert store.get(keys[-1]) is not None
         assert store.get(keys[0]) is None
 
-    def test_corrupt_entry_is_miss_and_deleted(self, tmp_path):
+    def test_corrupt_entry_is_miss_and_quarantined(self, tmp_path):
         store = ResultStore(tmp_path)
         key = result_key("p", "comp", 4, "m")
         store.put(key, {"v": 1}, coord="c")
@@ -171,7 +173,43 @@ class TestResultStore:
         path.write_text("{not json")
         assert store.get(key) is None
         assert store.stats.corrupt == 1
+        assert store.stats.quarantined == 1
+        # Quarantined for post-mortem, not silently deleted.
         assert not path.exists()
+        assert (store._quarantine_dir() / path.name).exists()
+
+    def test_checksum_mismatch_is_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("p", "comp", 4, "m")
+        store.put(key, {"v": 1})
+        path = store._path(key)
+        entry = json.loads(path.read_text())
+        entry["payload"] = {"v": 2}  # payload no longer matches sha256
+        path.write_text(json.dumps(entry))
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.quarantined == 1
+
+    def test_entries_carry_verifiable_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("p", "comp", 4, "m")
+        store.put(key, {"v": 1, "nested": {"a": [1, 2]}})
+        entry = json.loads(store._path(key).read_text())
+        assert entry["sha256"] == payload_checksum(entry["payload"])
+
+    def test_quarantine_is_capped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [result_key("p", "comp", n, "m")
+                for n in range(1, QUARANTINE_KEEP + 10)]
+        for i, k in enumerate(keys):
+            store.put(k, {"v": i})
+            store._path(k).write_text("{broken")
+            assert store.get(k) is None
+            qfile = store._quarantine_dir() / f"{k}.json"
+            os.utime(qfile, (i, i))
+        files = [p for p in store._quarantine_dir().iterdir()
+                 if p.is_file()]
+        assert len(files) == QUARANTINE_KEEP
 
     def test_key_mismatch_is_corrupt(self, tmp_path):
         store = ResultStore(tmp_path)
