@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -581,6 +582,17 @@ def cmd_batch(args) -> int:
         else:
             print(f"resuming {run_id}: {len(preset)}/{len(points)} "
                   f"points already journaled")
+            mid_flight = state.in_flight
+            if mid_flight:
+                labels = ", ".join(points[i].label()
+                                   for i in mid_flight[:6]
+                                   if 0 <= i < len(points))
+                more = (f", +{len(mid_flight) - 6} more"
+                        if len(mid_flight) > 6 else "")
+                print(f"  {len(mid_flight)} points were mid-flight "
+                      f"when the previous driver stopped "
+                      f"({labels}{more}); they re-execute with a "
+                      f"full retry budget")
         journal = journal_mod.JournalWriter.reopen(jdir, run_id)
         apps = sorted({p.app for p in points})
         schemes = sorted({parse_scheme(p.scheme) for p in points},
@@ -603,6 +615,25 @@ def cmd_batch(args) -> int:
             journal = journal_mod.JournalWriter.create(jdir, spec)
     preset_ids = {id(r) for r in (preset or {}).values()}
     shutdown = GracefulShutdown(drain_seconds=args.drain)
+
+    # Live monitoring rides on the journal: heartbeats interleave with
+    # the run's own records and a TS_<run_id>.jsonl series lands next
+    # to it, so `repro status/watch/report` work from the store dir
+    # alone.  --heartbeat 0 turns the whole layer off.
+    monitor = None
+    if journal is not None and args.heartbeat > 0:
+        from repro.obs.runstate import RunMonitor
+        from repro.obs.timeseries import TimeseriesSink, ts_path
+
+        sink = TimeseriesSink(ts_path(jdir, journal.run_id),
+                              journal.run_id)
+        monitor = RunMonitor(total=len(points), journal=journal,
+                             sink=sink, interval=args.heartbeat,
+                             jobs=args.jobs)
+        if preset:
+            # Journal-served points are finished work: count them so a
+            # resumed run's progress bar starts where the last one died.
+            monitor.dispatched = monitor.finished = len(preset)
 
     disk_dir = None
     if not args.no_cache:
@@ -640,6 +671,7 @@ def cmd_batch(args) -> int:
                 locality=locality,
                 store=store, incremental=incremental,
                 journal=journal, shutdown=shutdown, preset=preset,
+                monitor=monitor,
             )
     finally:
         if args.inject_faults is not None:
@@ -653,6 +685,9 @@ def cmd_batch(args) -> int:
     live_executed = sum(
         1 for r in results
         if not r.store_hit and id(r) not in preset_ids)
+    if monitor is not None:
+        # Final heartbeat (terminal counts) before the end record.
+        monitor.close()
     if journal is not None:
         journal.end(
             "interrupted" if shutdown.triggered else "complete",
@@ -868,6 +903,7 @@ def cmd_fsck(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.obs.bench import (
+        append_bench_series,
         compare_snapshots,
         load_snapshot,
         run_bench,
@@ -899,6 +935,9 @@ def cmd_bench(args) -> int:
                                      latest=args.latest)
         print(f"\nwrote snapshot to {path}"
               + (f" (pointer: {latest})" if latest else ""))
+        spath = append_bench_series(snap)
+        print(f"appended per-point digest to {spath} "
+              f"(render trends with `python -m repro series`)")
 
     rc = 0
     if baseline is not None:
@@ -925,6 +964,152 @@ def cmd_bench(args) -> int:
             except Exception as exc:  # never mask the regression exit
                 print(f"(root-cause diff unavailable: {exc})")
     return rc
+
+
+def _load_run_status(args):
+    """Shared status/watch/report front door: resolve the store dir and
+    snapshot the run, mapping a missing/unreadable journal to the dead-
+    run exit contract (2 = no such run, 3 = run is dead)."""
+    from repro.obs.runstate import load_status
+    from repro.pipeline.store import resolve_store_dir
+
+    root = resolve_store_dir(args.store_dir)
+    return load_status(root, args.run, stale_after=args.stale_after)
+
+
+def _status_rc(state: str) -> int:
+    """Exit code contract shared by status/watch: 0 while a run is
+    alive or finished cleanly, 3 when it is dead (interrupted/stale)."""
+    return 3 if state in ("interrupted", "stale") else 0
+
+
+def cmd_status(args) -> int:
+    """``python -m repro status``: cross-process snapshot of one
+    journaled run — progress, state, ETA — from the journal alone."""
+    from repro.errors import JournalError
+    from repro.report import format_status_text
+
+    try:
+        status = _load_run_status(args)
+    except JournalError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        text = json.dumps(status.as_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            _write_text(args.json, text + "\n", "run status JSON")
+    else:
+        print(format_status_text(status.as_dict()))
+    return _status_rc(status.state)
+
+
+def cmd_watch(args) -> int:
+    """``python -m repro watch``: a refreshing terminal view tailing
+    the journal of a run owned by another process.  Exits on its own
+    when the run reaches a terminal state (finished/interrupted/stale),
+    with the status exit-code contract."""
+    import time as _time
+
+    from repro.errors import JournalError
+    from repro.report import format_status_text
+
+    clear = sys.stdout.isatty() and not args.once and not args.json
+    while True:
+        try:
+            status = _load_run_status(args)
+        except JournalError as exc:
+            print(f"watch: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            # One compact JSON object per refresh: a tail-able stream.
+            print(json.dumps(status.as_dict(), sort_keys=True),
+                  flush=True)
+        else:
+            if clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(format_status_text(status.as_dict()), flush=True)
+        if args.once or status.state in ("finished", "interrupted",
+                                         "stale"):
+            return _status_rc(status.state)
+        if not clear and not args.json:
+            print()
+        _time.sleep(args.interval)
+
+
+def cmd_report(args) -> int:
+    """``python -m repro report``: one self-contained artifact per run,
+    stitched from the journal and time series alone."""
+    from repro.errors import JournalError
+    from repro.obs.runstate import build_report
+    from repro.pipeline.store import resolve_store_dir
+    from repro.report import format_status_text, run_report_html
+
+    root = resolve_store_dir(args.store_dir)
+    try:
+        payload = build_report(root, args.run,
+                               stale_after=args.stale_after)
+    except JournalError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    wrote = False
+    if args.html:
+        _write_text(args.html, run_report_html(payload),
+                    "HTML run report")
+        wrote = True
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True,
+                          default=str)
+        if args.json == "-":
+            print(text)
+        else:
+            _write_text(args.json, text + "\n", "run report JSON")
+        wrote = True
+    if not wrote:
+        print(format_status_text(payload["status"]))
+        series = payload["series"]
+        print(f"\nreport sections: {len(payload['points'])} point rows, "
+              f"{len(payload['timeline'])} timeline events, "
+              f"{series['samples']} time-series samples, "
+              f"{len(payload['degraded'])} degraded, "
+              f"{len(payload['failures'])} failures "
+              f"(write the full artifact with --html/--json)")
+    return 0
+
+
+def cmd_series(args) -> int:
+    """``python -m repro series``: the benchmark history as per-metric
+    trend rows with regression highlighting — the read side of the
+    previously write-only ``series.jsonl``."""
+    from repro.obs.bench import (
+        load_series_lines,
+        series_path,
+        series_trends,
+    )
+    from repro.report import format_series_table
+
+    path = args.file or series_path()
+    lines = load_series_lines(path)
+    rows = series_trends(lines, wall_tol=args.wall_tol,
+                         wall_abs_floor=args.wall_abs_floor)
+    if args.json:
+        text = json.dumps(
+            {"path": str(path), "samples": len(lines), "rows": rows},
+            indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            _write_text(args.json, text + "\n", "series trends JSON")
+    else:
+        print(f"benchmark series: {path} ({len(lines)} samples)")
+        print(format_series_table(rows, limit=args.limit))
+    flagged = [r for r in rows
+               if r["status"] in ("regressed", "changed")]
+    if flagged and not args.json:
+        print(f"\n{len(flagged)} metric(s) flagged "
+              f"(regressed or counter drift)")
+    return 1 if flagged and args.strict else 0
 
 
 def cmd_explain(args) -> int:
@@ -1145,6 +1330,12 @@ def main(argv=None) -> int:
     p.add_argument("--no-journal", action="store_true",
                    help="disable the crash-recovery run journal that a "
                         "result store otherwise writes")
+    p.add_argument("--heartbeat", type=_nonneg_float, default=2.0,
+                   metavar="SECONDS",
+                   help="interval between journal heartbeats and "
+                        "time-series samples for `repro status/watch` "
+                        "(default 2.0; 0 disables monitoring; needs "
+                        "the journal)")
     p.add_argument("--expect-executed", type=_nonneg_int, default=None,
                    metavar="N",
                    help="exit nonzero unless exactly N points executed "
@@ -1207,6 +1398,83 @@ def main(argv=None) -> int:
     p.add_argument("--show-ok", action="store_true",
                    help="include passing rows in the comparison table")
 
+    def _add_run_flags(p: argparse.ArgumentParser) -> None:
+        """Shared flags of the journal-reading commands
+        (status/watch/report): which run, where, and the staleness
+        threshold for the run-state classification."""
+        p.add_argument("run", nargs="?", default="latest",
+                       help="a RUN_* id, or 'latest' (default)")
+        p.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="result-store directory the run journals "
+                            "under (default: $REPRO_STORE_DIR or "
+                            "~/.cache/repro/results)")
+        p.add_argument("--stale-after", type=_positive_float,
+                       default=15.0, metavar="SECONDS",
+                       help="heartbeat silence before a run with no "
+                            "end record and a live pid is classified "
+                            "stale (default 15)")
+
+    p = sub.add_parser(
+        "status",
+        help="cross-process snapshot of a journaled run: progress, "
+             "state (running/finished/interrupted/stale), ETA",
+    )
+    _add_run_flags(p)
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="emit the status as JSON (to PATH, or stdout "
+                        "when no path is given)")
+
+    p = sub.add_parser(
+        "watch",
+        help="refreshing terminal view of a run owned by another "
+             "process; exits when the run reaches a terminal state",
+    )
+    _add_run_flags(p)
+    p.add_argument("--interval", type=_positive_float, default=1.0,
+                   metavar="SECONDS",
+                   help="refresh interval (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON object per refresh instead of "
+                        "the terminal view")
+
+    p = sub.add_parser(
+        "report",
+        help="self-contained run report (HTML/JSON) stitched from the "
+             "journal and time series",
+    )
+    _add_run_flags(p)
+    p.add_argument("--html", default=None, metavar="PATH",
+                   help="write the self-contained HTML report")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the report payload as JSON; '-' for "
+                        "stdout")
+
+    p = sub.add_parser(
+        "series",
+        help="render the benchmark history (series.jsonl) as trend "
+             "rows with regression highlighting",
+    )
+    p.add_argument("--file", default=None, metavar="PATH",
+                   help="series file (default: "
+                        "$REPRO_RESULTS_DIR/bench/series.jsonl)")
+    p.add_argument("--limit", type=_positive_int, default=40,
+                   metavar="N", help="max rows to print (default 40)")
+    p.add_argument("--wall-tol", type=_positive_float, default=0.30,
+                   help="relative trend tolerance (default 0.30)")
+    p.add_argument("--wall-abs-floor", type=_nonneg_float,
+                   default=0.010,
+                   help="absolute wall-time slack in seconds")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when any metric regressed or "
+                        "drifted (CI guard)")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="emit the trend rows as JSON (to PATH, or "
+                        "stdout when no path is given)")
+
     p = sub.add_parser(
         "explain",
         help="show every compiler decision (with alternatives and "
@@ -1234,20 +1502,32 @@ def main(argv=None) -> int:
                    help="emit the structured diff as JSON")
 
     args = parser.parse_args(argv)
-    return {
-        "list": cmd_list,
-        "decompose": cmd_decompose,
-        "emit": cmd_emit,
-        "run": cmd_run,
-        "profile": cmd_profile,
-        "hotspots": cmd_hotspots,
-        "verify": cmd_verify,
-        "batch": cmd_batch,
-        "fsck": cmd_fsck,
-        "bench": cmd_bench,
-        "explain": cmd_explain,
-        "diff": cmd_diff,
-    }[args.command](args)
+    try:
+        return {
+            "list": cmd_list,
+            "decompose": cmd_decompose,
+            "emit": cmd_emit,
+            "run": cmd_run,
+            "profile": cmd_profile,
+            "hotspots": cmd_hotspots,
+            "verify": cmd_verify,
+            "batch": cmd_batch,
+            "fsck": cmd_fsck,
+            "bench": cmd_bench,
+            "status": cmd_status,
+            "watch": cmd_watch,
+            "report": cmd_report,
+            "series": cmd_series,
+            "explain": cmd_explain,
+            "diff": cmd_diff,
+        }[args.command](args)
+    except BrokenPipeError:
+        # The reader went away (`repro status | head`): the shell
+        # convention is 128 + SIGPIPE, not a traceback.  Point stdout
+        # at devnull so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -45,13 +45,17 @@ __all__ = [
     "SCHEMA_VERSION",
     "BenchComparison",
     "DeltaRow",
+    "append_bench_series",
     "append_series",
     "compare_snapshots",
     "host_fingerprint",
     "load_snapshot",
+    "load_series_lines",
     "point_key",
     "run_bench",
     "save_snapshot",
+    "series_path",
+    "series_trends",
 ]
 
 # Schema history:
@@ -321,6 +325,12 @@ def save_snapshot(
     return str(path), latest_path
 
 
+def series_path() -> str:
+    """The default benchmark-history file."""
+    root = os.environ.get("REPRO_RESULTS_DIR", "results")
+    return os.path.join(root, "bench", "series.jsonl")
+
+
 def append_series(name: str, payload: Dict[str, Any],
                   path: Optional[os.PathLike] = None,
                   keep: int = SERIES_KEEP) -> str:
@@ -336,8 +346,7 @@ def append_series(name: str, payload: Dict[str, Any],
     ``bench.series.rotated`` / ``bench.series.dropped`` obs counters.
     """
     if path is None:
-        root = os.environ.get("REPRO_RESULTS_DIR", "results")
-        path = os.path.join(root, "bench", "series.jsonl")
+        path = series_path()
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
     line = {
@@ -359,6 +368,148 @@ def append_series(name: str, payload: Dict[str, Any],
             obs.inc("bench.series.rotated")
             obs.counter("bench.series.dropped").add(dropped)
     return str(p)
+
+
+def append_bench_series(snap: Dict[str, Any],
+                        path: Optional[os.PathLike] = None) -> str:
+    """Append a ``repro bench`` snapshot's per-point digest (wall p50,
+    total miss count) to the series history, closing the loop that made
+    ``series.jsonl`` write-only: every bench run becomes one comparable
+    trend sample per grid point."""
+    points = []
+    for p in snap.get("points", []):
+        sim = p.get("sim") or {}
+        points.append({
+            "point": point_key(p),
+            "wall_p50": (p.get("wall") or {}).get("p50"),
+            "misses": sum((sim.get("misses") or {}).values()),
+        })
+    return append_series("bench", {"kind": "bench", "points": points},
+                         path=path)
+
+
+def load_series_lines(path: Optional[os.PathLike] = None
+                      ) -> List[Dict[str, Any]]:
+    """Read the series history leniently: unparsable lines are dropped
+    (the file is append-only across many runs; one garbled line must
+    not hide the rest), a missing file is an empty history."""
+    if path is None:
+        path = series_path()
+    lines: List[Dict[str, Any]] = []
+    try:
+        with open(path) as fh:
+            raw = fh.readlines()
+    except OSError:
+        return lines
+    for text in raw:
+        text = text.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            lines.append(record)
+    return lines
+
+
+def series_trends(lines: Sequence[Dict[str, Any]],
+                  wall_tol: float = DEFAULT_WALL_TOL,
+                  wall_abs_floor: float = DEFAULT_WALL_ABS_FLOOR
+                  ) -> List[Dict[str, Any]]:
+    """Per-metric trend rows from the series history.
+
+    Two line shapes feed the history: ``bench`` digests (per grid
+    point: wall p50 + total misses, from :func:`append_bench_series`)
+    and benchmark figure curves (``series: {scheme: [[procs,
+    speedup], ...]}`` from the pytest harness).  Each is rolled up by
+    its natural key and the last sample is judged against the previous
+    one: wall time regresses when it grows past ``wall_tol`` relative
+    *and* ``wall_abs_floor`` absolute (the bench gate's rule), speedup
+    regresses when it shrinks past ``wall_tol`` relative, and a
+    drifted miss count is flagged — the simulator is deterministic, so
+    any miss drift is a semantic change.
+    """
+    bench_hist: Dict[str, List[Dict[str, Any]]] = {}
+    curve_hist: Dict[str, List[Dict[str, Any]]] = {}
+    for line in lines:
+        created = line.get("created", "")
+        if line.get("kind") == "bench":
+            for p in line.get("points") or []:
+                key = p.get("point")
+                wall = p.get("wall_p50")
+                if not key or not isinstance(wall, (int, float)):
+                    continue
+                bench_hist.setdefault(str(key), []).append({
+                    "wall_p50": float(wall),
+                    "misses": p.get("misses"),
+                    "created": created,
+                })
+        elif isinstance(line.get("series"), dict):
+            for scheme, pts in sorted(line["series"].items()):
+                try:
+                    procs, speedup = max(
+                        ((float(p), float(s)) for p, s in pts),
+                        key=lambda t: t[0])
+                except (TypeError, ValueError):
+                    continue
+                key = f"{line.get('name', '?')}:{scheme}@P{procs:g}"
+                curve_hist.setdefault(key, []).append({
+                    "speedup": speedup,
+                    "created": created,
+                })
+
+    rows: List[Dict[str, Any]] = []
+    for key, hist in sorted(bench_hist.items()):
+        last, prev = hist[-1], (hist[-2] if len(hist) > 1 else None)
+        status, note = "new", ""
+        if prev is not None:
+            cur, base = last["wall_p50"], prev["wall_p50"]
+            if (cur > base * (1.0 + wall_tol)
+                    and cur - base > wall_abs_floor):
+                status, note = "regressed", f"wall p50 over +{wall_tol:.0%}"
+            elif (cur < base * (1.0 - wall_tol)
+                    and base - cur > wall_abs_floor):
+                status = "improved"
+            else:
+                status = "ok"
+            if (last.get("misses") is not None
+                    and prev.get("misses") is not None
+                    and last["misses"] != prev["misses"]):
+                status = "changed"
+                note = (f"miss count drifted "
+                        f"{prev['misses']} → {last['misses']}")
+        rows.append({
+            "key": key, "kind": "bench", "unit": "wall p50 s",
+            "runs": len(hist), "value": round(last["wall_p50"], 6),
+            "prev": (round(prev["wall_p50"], 6)
+                     if prev is not None else None),
+            "misses": last.get("misses"),
+            "status": status, "note": note,
+            "created": last.get("created", ""),
+        })
+    for key, hist in sorted(curve_hist.items()):
+        last, prev = hist[-1], (hist[-2] if len(hist) > 1 else None)
+        status, note = "new", ""
+        if prev is not None:
+            cur, base = last["speedup"], prev["speedup"]
+            if cur < base * (1.0 - wall_tol):
+                status, note = "regressed", f"speedup down >{wall_tol:.0%}"
+            elif cur > base * (1.0 + wall_tol):
+                status = "improved"
+            else:
+                status = "ok"
+        rows.append({
+            "key": key, "kind": "figure", "unit": "speedup",
+            "runs": len(hist), "value": round(last["speedup"], 4),
+            "prev": (round(prev["speedup"], 4)
+                     if prev is not None else None),
+            "misses": None,
+            "status": status, "note": note,
+            "created": last.get("created", ""),
+        })
+    return rows
 
 
 def load_snapshot(path: os.PathLike) -> Dict[str, Any]:

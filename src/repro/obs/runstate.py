@@ -1,0 +1,549 @@
+"""Live run state: the write-side monitor and the read-side snapshot.
+
+The journal (:mod:`repro.pipeline.journal`) made a run's history
+durable; this module makes it *observable while it runs*.  Two halves,
+deliberately decoupled by the journal file itself so they can live in
+different processes:
+
+* :class:`RunMonitor` rides inside the grid driver.  The executor
+  tells it about dispatches/finishes/waves; a rate-limited
+  :meth:`~RunMonitor.tick` appends ``heartbeat`` records to the
+  journal (pid, wave, progress counters, in-flight indices, rss) and
+  flushes a metrics sample into the run's
+  :class:`~repro.obs.timeseries.TimeseriesSink`.  Monitoring is
+  best-effort by construction: every emit path swallows and counts its
+  own errors, and heartbeats are never fsync'd.
+
+* :func:`load_status` runs in *any other process* (``repro status`` /
+  ``watch``).  It replays the journal into a :class:`RunStatus`:
+  progress, per-scheme completion matrix, cache-hit rate, an EWMA of
+  executed per-point latency and the ETA it implies, and a run-state
+  classification::
+
+      finished     the journal carries ``end: complete``
+      interrupted  ``end: interrupted``, or no ``end`` and the driver
+                   pid is dead (SIGKILL leaves exactly this shape)
+      stale        no ``end``, pid unknown or alive, but the journal
+                   has not moved for longer than ``stale_after``
+      running      anything else — the driver is alive and writing
+
+:func:`build_report` stitches status + journal timeline + time series
+into the payload ``repro report`` renders.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs import core
+from repro.obs.timeseries import load_series, ts_path
+from repro.pipeline.journal import (
+    JournalState,
+    journal_dir,
+    read_records,
+    resolve_run_id,
+)
+
+__all__ = [
+    "DEFAULT_STALE_AFTER",
+    "EWMA_ALPHA",
+    "RunMonitor",
+    "RunStatus",
+    "build_report",
+    "load_status",
+    "pid_alive",
+    "rss_bytes",
+]
+
+# A driver heartbeats every ~2 s by default; 15 s of silence with no
+# end record and no dead pid means the writer is wedged, not just slow.
+DEFAULT_STALE_AFTER = 15.0
+
+# Smoothing for the per-point latency estimate feeding the ETA.
+EWMA_ALPHA = 0.25
+
+
+def rss_bytes() -> Optional[int]:
+    """Resident set size of this process, best effort."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:
+        return None
+
+
+def pid_alive(pid: Optional[int]) -> Optional[bool]:
+    """Is the pid running?  ``None`` when unknowable (no pid)."""
+    if not pid:
+        return None
+    try:
+        os.kill(int(pid), 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError, ValueError, OverflowError):
+        # Exists but is not ours (or the probe itself failed): treat as
+        # alive — staleness will catch a wedged writer.
+        return True
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Write side: rides inside the grid driver.
+# ---------------------------------------------------------------------------
+
+class RunMonitor:
+    """Emits heartbeats and time-series samples for a running grid.
+
+    The grid executor calls the ``point_*``/``wave_started`` hooks;
+    emission is rate-limited to ``interval`` seconds on a monotonic
+    clock, so hooks are safe to call as often as the executor likes
+    (including once per 0.2 s wait slice while futures are pending).
+    """
+
+    def __init__(self, total: int,
+                 journal: Optional[Any] = None,
+                 sink: Optional[Any] = None,
+                 interval: float = 2.0,
+                 jobs: int = 1):
+        self.total = total
+        self.journal = journal
+        self.sink = sink
+        self.interval = max(float(interval), 0.05)
+        self.jobs = max(int(jobs), 1)
+        self.wave = 0
+        self.dispatched = 0
+        self.finished = 0
+        self.retried = 0
+        self.degraded = 0
+        self.errors = 0
+        self.store_hits = 0
+        self.ticks = 0
+        self._in_flight: set = set()
+        self._last_tick = 0.0  # monotonic; 0 → first tick fires
+
+    # -- executor hooks ----------------------------------------------------
+
+    def wave_started(self, wave: int, pending: int) -> None:
+        self.wave = wave
+        self.tick(force=True)
+
+    def point_dispatched(self, index: int) -> None:
+        self.dispatched += 1
+        self._in_flight.add(index)
+        self.tick()
+
+    def point_finished(self, index: int, result: Any) -> None:
+        self.finished += 1
+        self._in_flight.discard(index)
+        if getattr(result, "store_hit", False):
+            self.store_hits += 1
+        else:
+            if not getattr(result, "ok", False):
+                self.errors += 1
+            if getattr(result, "degraded", False):
+                self.degraded += 1
+            if getattr(result, "attempts", 1) > 1:
+                self.retried += 1
+        self.tick()
+
+    # -- emission ----------------------------------------------------------
+
+    def progress(self) -> Dict[str, Any]:
+        """The snapshot every heartbeat and time-series sample carries."""
+        return {
+            "pid": os.getpid(),
+            "wave": self.wave,
+            "jobs": self.jobs,
+            "total": self.total,
+            "dispatched": self.dispatched,
+            "finished": self.finished,
+            "retried": self.retried,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "store_hits": self.store_hits,
+            "in_flight": sorted(self._in_flight),
+            "rss": rss_bytes(),
+        }
+
+    def tick(self, force: bool = False) -> bool:
+        """Emit one heartbeat + sample if ``interval`` has elapsed."""
+        now = time.monotonic()
+        if (not force and self._last_tick
+                and now - self._last_tick < self.interval):
+            return False
+        self._last_tick = now
+        self.ticks += 1
+        snap = self.progress()
+        try:
+            if self.journal is not None:
+                self.journal.heartbeat(**snap)
+            if self.sink is not None:
+                self.sink.sample(snap)
+        except Exception:
+            core.inc("monitor.errors")
+        core.inc("monitor.ticks")
+        return True
+
+    def close(self) -> None:
+        """Final forced tick so the journal's last heartbeat reflects
+        the terminal counts, then release the sink."""
+        self.tick(force=True)
+        if self.sink is not None:
+            try:
+                self.sink.close()
+            except Exception:
+                core.inc("monitor.errors")
+
+
+# ---------------------------------------------------------------------------
+# Read side: any process, against the journal alone.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunStatus:
+    """Cross-process snapshot of one journaled run."""
+
+    run_id: str
+    path: str
+    state: str                      # running | finished | interrupted | stale
+    total: int
+    finished: int
+    ok: int
+    errors: int
+    degraded: int
+    retried: int
+    store_hits: int
+    executed: int                   # finished minus store hits
+    in_flight: List[Dict[str, Any]] = field(default_factory=list)
+    waves: int = 0
+    resumes: int = 0
+    heartbeats: int = 0
+    pid: Optional[int] = None
+    pid_alive: Optional[bool] = None
+    heartbeat_age: Optional[float] = None
+    rss: Optional[int] = None
+    jobs: int = 1
+    wave: int = 0
+    ewma_latency: Optional[float] = None
+    eta: Optional[float] = None
+    cache_hit_rate: Optional[float] = None
+    scheme_matrix: Dict[str, Dict[str, List[int]]] = field(default_factory=dict)
+    bad_lines: int = 0
+    torn_tail: bool = False
+    ended: Optional[str] = None
+
+    @property
+    def progress(self) -> float:
+        return self.finished / self.total if self.total else 1.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "path": self.path,
+            "state": self.state,
+            "total": self.total,
+            "finished": self.finished,
+            "progress": round(self.progress, 4),
+            "ok": self.ok,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "retried": self.retried,
+            "store_hits": self.store_hits,
+            "executed": self.executed,
+            "in_flight": list(self.in_flight),
+            "waves": self.waves,
+            "resumes": self.resumes,
+            "heartbeats": self.heartbeats,
+            "pid": self.pid,
+            "pid_alive": self.pid_alive,
+            "heartbeat_age": self.heartbeat_age,
+            "rss": self.rss,
+            "jobs": self.jobs,
+            "wave": self.wave,
+            "ewma_latency": self.ewma_latency,
+            "eta": self.eta,
+            "cache_hit_rate": self.cache_hit_rate,
+            "scheme_matrix": self.scheme_matrix,
+            "bad_lines": self.bad_lines,
+            "torn_tail": self.torn_tail,
+            "ended": self.ended,
+        }
+
+
+def _classify(state: JournalState, now: float,
+              stale_after: float) -> str:
+    if state.ended == "complete":
+        return "finished"
+    if state.ended == "interrupted":
+        return "interrupted"
+    alive = pid_alive(state.pid)
+    if alive is False:
+        # No end record and the driver pid is gone: SIGKILL / OOM /
+        # driver.kill all leave exactly this shape.
+        return "interrupted"
+    hb = state.last_heartbeat
+    freshness: Optional[float] = None
+    if hb is not None and isinstance(hb.get("t"), (int, float)):
+        freshness = float(hb["t"])
+    else:
+        try:
+            freshness = state.path.stat().st_mtime
+        except OSError:
+            pass
+    if freshness is not None and now - freshness > stale_after:
+        return "stale"
+    return "running"
+
+
+def status_from_state(state: JournalState, *,
+                      now: Optional[float] = None,
+                      stale_after: float = DEFAULT_STALE_AFTER
+                      ) -> RunStatus:
+    """Derive a :class:`RunStatus` from a parsed journal."""
+    if now is None:
+        now = time.time()
+
+    header = state.header or {}
+    total = int(header.get("total") or 0)
+    try:
+        points = state.points()
+    except Exception:
+        points = []
+    if not total:
+        total = len(points)
+
+    # Labels for in-flight indices come from the spec, so a status
+    # probe never needs the (possibly dead) driver's memory.
+    labels: Dict[int, str] = {i: p.label() for i, p in enumerate(points)}
+    in_flight = [{"i": i, "label": labels.get(i, f"point {i}")}
+                 for i in state.in_flight]
+
+    ok = errors = degraded = retried = store_hits = 0
+    runs_total = hits_total = 0
+    ewma: Optional[float] = None
+    matrix: Dict[str, Dict[str, List[int]]] = {}
+    for p in points:
+        cell = matrix.setdefault(p.app, {}).setdefault(p.scheme, [0, 0])
+        cell[1] += 1
+    for i, d in state.finished.items():
+        if not isinstance(d, dict):
+            continue
+        if d.get("ok"):
+            ok += 1
+        else:
+            errors += 1
+        if d.get("degraded"):
+            degraded += 1
+        if (d.get("attempts") or 1) > 1:
+            retried += 1
+        if d.get("store_hit"):
+            store_hits += 1
+        else:
+            elapsed = d.get("elapsed")
+            if isinstance(elapsed, (int, float)) and elapsed >= 0:
+                ewma = (elapsed if ewma is None
+                        else EWMA_ALPHA * elapsed + (1 - EWMA_ALPHA) * ewma)
+        for v in (d.get("pass_runs") or {}).values():
+            runs_total += int(v)
+        for v in (d.get("pass_hits") or {}).values():
+            hits_total += int(v)
+        pd = d.get("point") or {}
+        app, scheme = pd.get("app"), pd.get("scheme")
+        if app in matrix and scheme in matrix[app]:
+            matrix[app][scheme][0] += 1
+
+    finished = len(state.finished)
+    hb = state.last_heartbeat or {}
+    jobs = max(int(hb.get("jobs") or 1), 1)
+    hb_age = None
+    if isinstance(hb.get("t"), (int, float)):
+        hb_age = max(round(now - float(hb["t"]), 3), 0.0)
+
+    remaining = max(total - finished, 0)
+    eta = None
+    if ewma is not None and remaining:
+        eta = round(remaining * ewma / jobs, 3)
+    hit_rate = None
+    if runs_total + hits_total:
+        hit_rate = hits_total / (runs_total + hits_total)
+
+    return RunStatus(
+        run_id=state.run_id,
+        path=str(state.path),
+        state=_classify(state, now, stale_after),
+        total=total,
+        finished=finished,
+        ok=ok,
+        errors=errors,
+        degraded=degraded,
+        retried=retried,
+        store_hits=store_hits,
+        executed=finished - store_hits,
+        in_flight=in_flight,
+        waves=state.waves,
+        resumes=state.resumes,
+        heartbeats=state.heartbeats,
+        pid=state.pid,
+        pid_alive=pid_alive(state.pid),
+        heartbeat_age=hb_age,
+        rss=hb.get("rss"),
+        jobs=jobs,
+        wave=int(hb.get("wave") or state.waves),
+        ewma_latency=round(ewma, 4) if ewma is not None else None,
+        eta=eta,
+        cache_hit_rate=(round(hit_rate, 4)
+                        if hit_rate is not None else None),
+        scheme_matrix=matrix,
+        bad_lines=state.bad_lines,
+        torn_tail=state.torn_tail,
+        ended=state.ended,
+    )
+
+
+def load_status(store_root: os.PathLike, token: str = "latest", *,
+                stale_after: float = DEFAULT_STALE_AFTER) -> RunStatus:
+    """Snapshot a run by id (or ``latest``) from its journal alone.
+
+    Raises :class:`~repro.errors.JournalError` when no such run exists
+    or its journal is unreadable — callers map that to exit code 2.
+    """
+    jdir = journal_dir(store_root)
+    run_id = resolve_run_id(jdir, token)
+    state = JournalState.load(jdir / f"{run_id}.jsonl")
+    return status_from_state(state, stale_after=stale_after)
+
+
+# ---------------------------------------------------------------------------
+# Report payload: status + timeline + time series in one dict.
+# ---------------------------------------------------------------------------
+
+def build_report(store_root: os.PathLike, token: str = "latest", *,
+                 stale_after: float = DEFAULT_STALE_AFTER
+                 ) -> Dict[str, Any]:
+    """Everything ``repro report`` renders, from journal + series alone.
+
+    The payload is pure data (JSON-serializable) so ``--json`` and
+    ``--html`` are two renderings of the same artifact.
+    """
+    jdir = journal_dir(store_root)
+    run_id = resolve_run_id(jdir, token)
+    jpath = jdir / f"{run_id}.jsonl"
+    state = JournalState.load(jpath)
+    status = status_from_state(state, stale_after=stale_after)
+    records, _, _ = read_records(jpath)
+
+    # Timeline: every timestamped lifecycle record, relative to the
+    # first timestamp seen so the report is origin-independent.
+    stamped = [r for r in records
+               if isinstance(r.get("t"), (int, float))
+               and r.get("type") in ("wave", "start", "done", "heartbeat")]
+    t0 = min((float(r["t"]) for r in stamped), default=0.0)
+    timeline: List[Dict[str, Any]] = []
+    for r in stamped:
+        entry: Dict[str, Any] = {"t": round(float(r["t"]) - t0, 3),
+                                 "type": r["type"]}
+        if r["type"] == "wave":
+            entry["wave"] = r.get("wave")
+            entry["pending"] = r.get("pending")
+        elif r["type"] == "start":
+            entry["i"] = r.get("i")
+            entry["label"] = r.get("label")
+        elif r["type"] == "done":
+            entry["i"] = r.get("i")
+            entry["ok"] = r.get("ok")
+        else:  # heartbeat
+            entry["finished"] = r.get("finished")
+            entry["rss"] = r.get("rss")
+        timeline.append(entry)
+
+    # Per-point rows plus degradation / failure / provenance rollups.
+    rows: List[Dict[str, Any]] = []
+    degraded: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    decisions: Dict[str, int] = {}
+    for i, d in sorted(state.finished.items()):
+        if not isinstance(d, dict):
+            continue
+        pd = d.get("point") or {}
+        label = (f"{pd.get('app', '?')}/{pd.get('scheme', '?')}"
+                 f"/P{pd.get('nprocs', '?')}")
+        rows.append({
+            "i": i,
+            "label": label,
+            "ok": bool(d.get("ok")),
+            "elapsed": d.get("elapsed"),
+            "total_time": d.get("total_time"),
+            "store_hit": bool(d.get("store_hit")),
+            "attempts": d.get("attempts") or 1,
+            "degraded": bool(d.get("degraded")),
+        })
+        if d.get("degraded"):
+            degraded.append({"i": i, "label": label,
+                             "reason": d.get("degrade_reason") or ""})
+        if not d.get("ok"):
+            failures.append({"i": i, "label": label,
+                             "error": d.get("error") or ""})
+        for rec in d.get("provenance") or []:
+            if isinstance(rec, dict):
+                key = f"{rec.get('site', '?')} → {rec.get('chosen', '?')}"
+                decisions[key] = decisions.get(key, 0) + 1
+
+    series = load_series(ts_path(jdir, run_id))
+    curves = _series_curves(series["samples"])
+
+    return {
+        "schema": 1,
+        "run_id": run_id,
+        "status": status.as_dict(),
+        "header": {k: v for k, v in (state.header or {}).items()
+                   if k != "spec"},
+        "timeline": timeline,
+        "points": rows,
+        "degraded": degraded,
+        "failures": failures,
+        "decisions": dict(sorted(decisions.items(),
+                                 key=lambda kv: (-kv[1], kv[0]))),
+        "series": {
+            "samples": len(series["samples"]),
+            "bad_lines": series["bad_lines"],
+            "torn_tail": series["torn_tail"],
+            "curves": curves,
+        },
+    }
+
+
+def _series_curves(samples: List[Dict[str, Any]]
+                   ) -> Dict[str, List[List[float]]]:
+    """Plottable ``name → [[t, value], ...]`` curves from raw samples."""
+    curves: Dict[str, List[List[float]]] = {}
+    if not samples:
+        return curves
+    t0 = None
+    for s in samples:
+        t = s.get("t")
+        if not isinstance(t, (int, float)):
+            continue
+        if t0 is None:
+            t0 = float(t)
+        rel = round(float(t) - t0, 3)
+        prog = s.get("progress") or {}
+        for key in ("finished", "dispatched", "errors", "store_hits"):
+            v = prog.get(key)
+            if isinstance(v, (int, float)):
+                curves.setdefault(key, []).append([rel, float(v)])
+        rss = prog.get("rss")
+        if isinstance(rss, (int, float)):
+            curves.setdefault("rss_mb", []).append(
+                [rel, round(float(rss) / 1e6, 2)])
+    return curves

@@ -1,0 +1,157 @@
+"""Per-run metrics time series: totals become plottable curves.
+
+The obs registry (:mod:`repro.obs.metrics`) only ever holds *current*
+values — end-of-run totals.  For a long grid run the interesting
+questions are trajectories: is throughput flat?  when did the cache
+stop hitting?  is rss creeping?  This module gives each monitored run
+an append-only JSONL series next to its journal: a periodic flusher
+(driven by the grid's :class:`~repro.obs.runstate.RunMonitor`) samples
+every registered counter/gauge/histogram plus the driver's own
+progress snapshot into one line per tick.
+
+File layout mirrors the journal — one header line then samples — and
+the reader is just as lenient: a torn final line (the crash window) is
+skipped and counted, a garbled interior line loses only itself.  The
+series file is named ``TS_<run_id>.jsonl`` inside the journal
+directory; the ``TS_`` prefix keeps it out of
+:func:`~repro.pipeline.journal.list_runs`'s ``RUN_*.jsonl`` glob.
+
+Samples are best-effort monitoring data, not crash-safety-critical
+state: writes are flushed but (by default) not fsync'd, and any append
+failure is counted (``ts.errors``) and swallowed — monitoring must
+never take down the run it is watching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional
+
+from repro.obs import core
+
+__all__ = [
+    "TS_SCHEMA",
+    "TimeseriesSink",
+    "load_series",
+    "ts_path",
+]
+
+TS_SCHEMA = 1
+
+
+def ts_path(jdir: os.PathLike, run_id: str) -> Path:
+    """Where a run's time-series file lives (next to its journal)."""
+    return Path(jdir).expanduser() / f"TS_{run_id}.jsonl"
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+class TimeseriesSink:
+    """Single-writer append side of one run's metrics series."""
+
+    def __init__(self, path: os.PathLike, run_id: str,
+                 fsync: bool = False):
+        self.path = Path(path)
+        self.run_id = run_id
+        self.fsync = fsync
+        self.samples = 0
+        self.errors = 0
+        self._fh: Optional[IO[str]] = None
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        except OSError:
+            self.errors += 1
+            core.inc("ts.errors")
+            return
+        self._append({
+            "type": "header",
+            "schema": TS_SCHEMA,
+            "run_id": run_id,
+            "created": _utcnow(),
+            "pid": os.getpid(),
+        })
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        try:
+            self._fh.write(
+                json.dumps(record, sort_keys=True, default=str) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        except (OSError, ValueError, TypeError):
+            self.errors += 1
+            core.inc("ts.errors")
+            return
+        self.samples += 1
+        core.inc("ts.samples")
+
+    def sample(self, progress: Dict[str, Any]) -> None:
+        """Append one tick: the driver's progress snapshot plus a full
+        metrics snapshot (empty when telemetry is disabled)."""
+        metrics: Dict[str, Any] = {}
+        if core.enabled():
+            metrics = core.collector().metrics.snapshot()
+        self._append({
+            "type": "sample",
+            "t": round(time.time(), 3),
+            "progress": progress,
+            "metrics": metrics,
+        })
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "TimeseriesSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_series(path: os.PathLike) -> Dict[str, Any]:
+    """Parse a series file leniently (journal-reader semantics).
+
+    Returns ``{"header", "samples", "bad_lines", "torn_tail"}``; a
+    missing or unreadable file yields an empty series rather than an
+    error — reports and status must render without one.
+    """
+    out: Dict[str, Any] = {"header": None, "samples": [],
+                           "bad_lines": 0, "torn_tail": False}
+    try:
+        with open(path) as fh:
+            lines = fh.readlines()
+    except OSError:
+        return out
+    samples: List[Dict[str, Any]] = out["samples"]
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if lineno == len(lines) - 1:
+                out["torn_tail"] = True
+            else:
+                out["bad_lines"] += 1
+            continue
+        rtype = record.get("type")
+        if rtype == "header" and out["header"] is None:
+            out["header"] = record
+        elif rtype == "sample":
+            samples.append(record)
+    return out

@@ -62,14 +62,17 @@ def run_batch(
     journal=None,
     shutdown=None,
     preset=None,
+    monitor=None,
 ) -> List[BatchResult]:
     """Run every point; results come back in input order.
 
     See :func:`repro.pipeline.grid.run_grid` (this is it, under the
     historical name): ``store``/``incremental`` add the persistent
-    result store on top of the hardened wave executor, and
+    result store on top of the hardened wave executor,
     ``journal``/``shutdown``/``preset`` add the crash-safe run journal,
-    graceful SIGINT/SIGTERM drain, and ``--resume`` replay.
+    graceful SIGINT/SIGTERM drain, and ``--resume`` replay, and
+    ``monitor`` adds live heartbeats / time-series sampling for
+    ``repro status`` and ``repro watch``.
     """
     return run_grid(
         points, jobs=jobs, cache=cache, disk_dir=disk_dir,
@@ -77,4 +80,5 @@ def run_batch(
         degrade=degrade, collect_telemetry=collect_telemetry,
         locality=locality, store=store, incremental=incremental,
         journal=journal, shutdown=shutdown, preset=preset,
+        monitor=monitor,
     )

@@ -498,6 +498,7 @@ def execute_grid(
     on_start: Optional[Callable[[int], None]] = None,
     on_wave: Optional[Callable[[int, int], None]] = None,
     shutdown: Optional[GracefulShutdown] = None,
+    monitor=None,
 ) -> List[GridResult]:
     """Execute every point; results come back in input order.
 
@@ -533,26 +534,35 @@ def execute_grid(
     set-pressure / heatmap analytics to every point
     (``GridResult.locality``) at the cost of one extra analytics pass
     over each point's address stream.
+
+    ``monitor`` (a :class:`repro.obs.runstate.RunMonitor`, duck-typed)
+    is only *pumped* here — its rate-limited ``tick()`` is called
+    between serial points and once per wait slice while parallel
+    futures are pending, so heartbeats keep flowing during a long
+    point.  Progress notifications (dispatch/finish/wave) go through
+    the ``on_*`` hooks, which carry the caller's own point indices.
     """
     points = list(points)
     if jobs <= 1:
         return _run_serial(points, cache, disk_dir, retries, backoff,
                            degrade, locality, on_result, on_start,
-                           shutdown)
+                           shutdown, monitor)
     return _run_parallel(points, jobs, cache, disk_dir, timeout,
                          retries, backoff, degrade, collect_telemetry,
                          locality, on_result, on_start, on_wave,
-                         shutdown)
+                         shutdown, monitor)
 
 
 def _run_serial(points, cache, disk_dir, retries, backoff,
                 degrade, locality=False, on_result=None, on_start=None,
-                shutdown=None) -> List[GridResult]:
+                shutdown=None, monitor=None) -> List[GridResult]:
     session = _make_session(disk_dir, cache)
     out: List[GridResult] = []
     for i, point in enumerate(points):
         if shutdown is not None and shutdown.triggered:
             break
+        if monitor is not None:
+            monitor.tick()
         if on_start is not None:
             on_start(i)
         attempt = 1
@@ -583,7 +593,8 @@ def _run_serial(points, cache, disk_dir, retries, backoff,
 def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
                   backoff, degrade, collect_telemetry=False,
                   locality=False, on_result=None, on_start=None,
-                  on_wave=None, shutdown=None) -> List[GridResult]:
+                  on_wave=None, shutdown=None,
+                  monitor=None) -> List[GridResult]:
     """Wave-based execution: each wave gets a fresh pool for whatever
     is still pending.
 
@@ -657,7 +668,7 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
                     collateral.append(i)
                 continue
             try:
-                result = _await_result(fut, timeout, shutdown)
+                result = _await_result(fut, timeout, shutdown, monitor)
                 attempts[i] += 1
                 result.attempts = attempts[i]
                 _finish(i, result)
@@ -706,16 +717,20 @@ def _run_parallel(points, jobs, cache, disk_dir, timeout, retries,
     return [r for r in results if r is not None]
 
 
-def _await_result(fut, timeout, shutdown) -> GridResult:
+def _await_result(fut, timeout, shutdown, monitor=None) -> GridResult:
     """``fut.result`` that honours both the per-point timeout and a
     graceful shutdown's drain deadline (polling in short slices so the
-    signal handler's flag is observed promptly)."""
-    if shutdown is None:
+    signal handler's flag is observed promptly).  A run monitor is
+    pumped once per slice, so heartbeats keep a live-run status honest
+    even while every worker is deep inside one long point."""
+    if shutdown is None and monitor is None:
         return fut.result(timeout=timeout)
     deadline = None if timeout is None else time.monotonic() + timeout
     while True:
-        if shutdown.drain_expired():
+        if shutdown is not None and shutdown.drain_expired():
             raise _DrainExpired()
+        if monitor is not None:
+            monitor.tick()
         slice_s = 0.2
         if deadline is not None:
             remaining = deadline - time.monotonic()
@@ -777,6 +792,7 @@ def run_grid(
     journal=None,
     shutdown: Optional[GracefulShutdown] = None,
     preset: Optional[Dict[int, GridResult]] = None,
+    monitor=None,
 ) -> List[GridResult]:
     """Run every point, optionally against a persistent result store.
 
@@ -807,10 +823,16 @@ def run_grid(
     ``shutdown`` (a :class:`GracefulShutdown`) makes the run stop
     dispatching on SIGINT/SIGTERM and drain in-flight work; abandoned
     points are absent from the returned list.
+
+    ``monitor`` (a :class:`repro.obs.runstate.RunMonitor`, duck-typed
+    like the journal) is told about every dispatch, finish (including
+    store-served points) and wave in grid-global indices, and is
+    pumped while the executor waits — driving heartbeat records and
+    time-series samples for ``repro status`` / ``watch``.
     """
     points = list(points)
     if (store is None and journal is None and shutdown is None
-            and not preset):
+            and monitor is None and not preset):
         return execute_grid(
             points, jobs=jobs, cache=cache, disk_dir=disk_dir,
             timeout=timeout, retries=retries, backoff=backoff,
@@ -858,6 +880,8 @@ def run_grid(
             results[i] = served
             if journal is not None:
                 journal.point_done(i, served)
+            if monitor is not None:
+                monitor.point_finished(i, served)
         else:
             to_run.append(i)
     if to_run:
@@ -881,16 +905,22 @@ def run_grid(
                                 f"/loc={locality}")
             if journal is not None:
                 journal.point_done(i, r)
+            if monitor is not None:
+                monitor.point_finished(i, r)
             faults.maybe_driver_kill()
 
         def _started(j: int) -> None:
+            i = index[j]
             if journal is not None:
-                i = index[j]
                 journal.point_started(i, points[i])
+            if monitor is not None:
+                monitor.point_dispatched(i)
 
         def _wave(wave: int, pending: int) -> None:
             if journal is not None:
                 journal.wave(wave, pending)
+            if monitor is not None:
+                monitor.wave_started(wave, pending)
 
         execute_grid(
             [points[i] for i in to_run], jobs=jobs, cache=cache,
@@ -898,7 +928,7 @@ def run_grid(
             backoff=backoff, degrade=degrade,
             collect_telemetry=collect_telemetry, locality=locality,
             on_result=_record, on_start=_started, on_wave=_wave,
-            shutdown=shutdown,
+            shutdown=shutdown, monitor=monitor,
         )
     return [r for r in results if r is not None]
 

@@ -10,19 +10,24 @@ whatever survives a crash is a complete prefix of the run's history
 
 Record stream (``type`` field)::
 
-    header  run_id, schema, created, the full grid *spec* (every point
-            coordinate plus the result-shaping knobs) and its SHA-256
-            fingerprint — the resume contract
-    resume  appended when ``--resume`` reopens the journal
-    wave    the executor started wave N with M points pending
-    start   point i was dispatched
-    done    point i reached a terminal state; carries the full
-            :class:`~repro.pipeline.grid.GridResult` dict (minus
-            telemetry), so a resumed run can serve the point
-            bit-identically without touching the store
-    end     the run finished ("complete") or was interrupted
-            ("interrupted") — a journal with no ``end`` record means
-            the driver died mid-run
+    header     run_id, schema, created, the full grid *spec* (every
+               point coordinate plus the result-shaping knobs) and its
+               SHA-256 fingerprint — the resume contract
+    resume     appended when ``--resume`` reopens the journal
+    wave       the executor started wave N with M points pending
+    start      point i was dispatched (carries a wall-clock ``t`` so a
+               reader can see how long it has been in flight)
+    done       point i reached a terminal state; carries the full
+               :class:`~repro.pipeline.grid.GridResult` dict (minus
+               telemetry), so a resumed run can serve the point
+               bit-identically without touching the store
+    heartbeat  periodic liveness: driver pid, current wave, progress
+               counters, the in-flight point indices, rss.  Appended
+               flushed-but-not-fsync'd — heartbeats are monitoring
+               data, not resume state, so they never pay the fsync
+    end        the run finished ("complete") or was interrupted
+               ("interrupted") — a journal with no ``end`` record
+               means the driver died mid-run
 
 ``repro batch --resume <run-id|latest>`` replays this: it rebuilds the
 point list from the header, refuses to run if the recorded spec
@@ -53,7 +58,7 @@ import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import IO, Any, Dict, List, Optional
+from typing import IO, Any, Dict, List, Optional, Set, Tuple
 
 from repro import faults, obs
 from repro.errors import JournalError
@@ -68,6 +73,7 @@ __all__ = [
     "JournalWriter",
     "journal_dir",
     "list_runs",
+    "read_records",
     "resolve_run_id",
     "spec_fingerprint",
 ]
@@ -218,7 +224,8 @@ class JournalWriter:
 
     # -- the append path ---------------------------------------------------
 
-    def _append(self, record: Dict[str, Any]) -> None:
+    def _append(self, record: Dict[str, Any],
+                durable: bool = True) -> None:
         if self._fh is None:
             return
         try:
@@ -234,7 +241,7 @@ class JournalWriter:
                 return
             self._fh.write(line)
             self._fh.flush()
-            if self.fsync:
+            if self.fsync and durable:
                 os.fsync(self._fh.fileno())
                 obs.inc("journal.fsyncs")
         except (OSError, ValueError, TypeError):
@@ -252,15 +259,25 @@ class JournalWriter:
 
     def point_started(self, index: int, point: GridPoint) -> None:
         self._append({"type": "start", "i": index,
-                      "label": point.label()})
+                      "label": point.label(),
+                      "t": round(time.time(), 3)})
 
     def point_done(self, index: int, result: GridResult) -> None:
         """The commit record: once this line is durable, a resume will
         serve the point instead of re-executing it."""
         self._append({"type": "done", "i": index,
                       "ok": result.ok,
+                      "t": round(time.time(), 3),
                       "result": result.as_dict()})
         obs.inc("journal.points_journaled")
+
+    def heartbeat(self, **fields: Any) -> None:
+        """Periodic liveness record.  Flushed but never fsync'd: a lost
+        heartbeat costs a stale status display, not resume state."""
+        self._append({"type": "heartbeat",
+                      "t": round(time.time(), 3), **fields},
+                     durable=False)
+        obs.inc("journal.heartbeats")
 
     def end(self, status: str, executed: int) -> None:
         self._append({"type": "end", "status": status,
@@ -281,6 +298,38 @@ class JournalWriter:
         self.close()
 
 
+def read_records(path: os.PathLike) -> Tuple[List[Dict[str, Any]], int, bool]:
+    """Lenient raw record reader: ``(records, bad_lines, torn_tail)``.
+
+    The one parsing path for everything that consumes a journal —
+    :meth:`JournalState.load` for resume, the run-state monitor for
+    ``repro status``, and the report builder for the timeline.  A torn
+    final line (the crash window) is skipped and flagged; a garbled
+    interior line loses only itself."""
+    records: List[Dict[str, Any]] = []
+    bad_lines, torn_tail = 0, False
+    try:
+        with open(path) as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal: {exc}",
+                           journal=str(path)) from exc
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if lineno == len(lines) - 1:
+                torn_tail = True
+                obs.inc("journal.torn_tail")
+            else:
+                bad_lines += 1
+                obs.inc("journal.bad_lines")
+    return records, bad_lines, torn_tail
+
+
 @dataclass
 class JournalState:
     """Parsed read side of one run's journal."""
@@ -289,11 +338,15 @@ class JournalState:
     header: Optional[Dict[str, Any]] = None
     finished: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     started: int = 0
+    started_indices: Set[int] = field(default_factory=set)
     waves: int = 0
     resumes: int = 0
     ended: Optional[str] = None
     bad_lines: int = 0
     torn_tail: bool = False
+    heartbeats: int = 0
+    last_heartbeat: Optional[Dict[str, Any]] = None
+    pid: Optional[int] = None
 
     @classmethod
     def load(cls, path: os.PathLike) -> "JournalState":
@@ -303,26 +356,8 @@ class JournalState:
         on that line — their points simply re-execute."""
         path = Path(path)
         state = cls(path=path)
-        try:
-            with open(path) as fh:
-                lines = fh.readlines()
-        except OSError as exc:
-            raise JournalError(f"cannot read journal: {exc}",
-                               journal=str(path)) from exc
-        for lineno, line in enumerate(lines):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                if lineno == len(lines) - 1:
-                    state.torn_tail = True
-                    obs.inc("journal.torn_tail")
-                else:
-                    state.bad_lines += 1
-                    obs.inc("journal.bad_lines")
-                continue
+        records, state.bad_lines, state.torn_tail = read_records(path)
+        for record in records:
             state._apply(record)
         if state.header is None:
             raise JournalError(
@@ -334,18 +369,32 @@ class JournalState:
         rtype = record.get("type")
         if rtype == "header" and self.header is None:
             self.header = record
+            if record.get("pid") is not None:
+                self.pid = record["pid"]
         elif rtype == "resume":
             self.resumes += 1
+            if record.get("pid") is not None:
+                self.pid = record["pid"]
         elif rtype == "wave":
             self.waves += 1
         elif rtype == "start":
             self.started += 1
+            try:
+                self.started_indices.add(int(record["i"]))
+            except (KeyError, TypeError, ValueError):
+                self.bad_lines += 1
+                obs.inc("journal.bad_lines")
         elif rtype == "done":
             try:
                 self.finished[int(record["i"])] = record["result"]
             except (KeyError, TypeError, ValueError):
                 self.bad_lines += 1
                 obs.inc("journal.bad_lines")
+        elif rtype == "heartbeat":
+            self.heartbeats += 1
+            self.last_heartbeat = record
+            if record.get("pid") is not None:
+                self.pid = record["pid"]
         elif rtype == "end":
             self.ended = str(record.get("status"))
 
@@ -362,6 +411,13 @@ class JournalState:
     @property
     def complete(self) -> bool:
         return self.ended == "complete"
+
+    @property
+    def in_flight(self) -> List[int]:
+        """Points with a ``start`` record but no ``done`` — mid-flight
+        when the journal was written (or, for a dead run, when the
+        driver died).  Sorted for stable display."""
+        return sorted(self.started_indices - set(self.finished))
 
     def validate(self) -> None:
         """Refuse to resume from a journal whose spec does not hash to

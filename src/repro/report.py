@@ -225,21 +225,9 @@ def hotspots_html(payload: Mapping) -> str:
     the ranked function table plus one phase×array heatmap per grid
     point, cells shaded by access count.  Deterministic: content is a
     pure function of the payload, iteration orders are sorted."""
-    import html as _html
+    from repro.obs.html import esc, heat_style, page, table
 
-    def esc(x) -> str:
-        return _html.escape(str(x))
-
-    parts: List[str] = [
-        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
-        "<title>repro hotspots</title><style>"
-        "body{font-family:monospace;margin:1.5em}"
-        "table{border-collapse:collapse;margin:0.8em 0}"
-        "td,th{border:1px solid #999;padding:2px 8px;text-align:right}"
-        "th{background:#eee}td.l,th.l{text-align:left}"
-        "h2{margin-top:1.2em}</style></head><body>",
-        "<h1>repro hotspots</h1>",
-    ]
+    parts: List[str] = []
     hot = payload.get("hotspots")
     if hot:
         wall = "{:.3f}".format(hot["wall_s"])
@@ -247,18 +235,13 @@ def hotspots_html(payload: Mapping) -> str:
             f"<p>wall={esc(wall)}s samples={esc(hot['samples'])} "
             f"interval={esc(hot['interval'])}</p>"
         )
-        parts.append(
-            "<h2>self-time ranking</h2><table><tr><th class='l'>function"
-            "</th><th>self ms</th><th>cum ms</th><th>samples</th></tr>"
-        )
-        for f in hot["functions"]:
-            parts.append(
-                f"<tr><td class='l'>{esc(f['key'])}</td>"
-                f"<td>{f['self_s'] * 1e3:.2f}</td>"
-                f"<td>{f['cum_s'] * 1e3:.2f}</td>"
-                f"<td>{f['self_samples']}</td></tr>"
-            )
-        parts.append("</table>")
+        parts.append("<h2>self-time ranking</h2>")
+        parts.append(table(
+            ["function", "self ms", "cum ms", "samples"],
+            [[f["key"], f"{f['self_s'] * 1e3:.2f}",
+              f"{f['cum_s'] * 1e3:.2f}", f["self_samples"]]
+             for f in hot["functions"]],
+        ))
     for point in payload.get("points", []):
         loc = point.get("locality") or {}
         hm = loc.get("heatmap") or {}
@@ -270,42 +253,244 @@ def hotspots_html(payload: Mapping) -> str:
         peak = max(
             (c for row in hm["counts"] for c in row), default=0
         )
-        parts.append(
-            "<table><tr><th class='l'>phase \\ array</th>"
-            + "".join(f"<th>{esc(a)}</th>" for a in hm["arrays"])
-            + "</tr>"
-        )
+        rows = []
         for phase, row in zip(hm["phases"], hm["counts"]):
-            cells = []
-            for c in row:
-                # Shade by relative access count (deterministic alpha).
-                alpha = c / peak if peak else 0.0
-                cells.append(
-                    f"<td style='background:rgba(178,34,34,{alpha:.3f})"
-                    f"'>{c}</td>"
-                )
-            parts.append(
-                f"<tr><td class='l'>{esc(phase)}</td>"
-                + "".join(cells) + "</tr>"
-            )
-        parts.append("</table>")
+            # Shade by relative access count (deterministic alpha).
+            rows.append([phase] + [
+                (c, heat_style(c / peak if peak else 0.0)) for c in row
+            ])
+        parts.append(table(["phase \\ array", *hm["arrays"]], rows))
         reuse = loc.get("reuse") or {}
         if reuse:
-            parts.append(
-                "<table><tr><th class='l'>array</th><th>accesses</th>"
-                "<th>cold</th><th>p50</th><th>p95</th><th>max</th></tr>"
-            )
-            for name in sorted(reuse):
-                r = reuse[name]
-                parts.append(
-                    f"<tr><td class='l'>{esc(name)}</td>"
-                    f"<td>{r['accesses']}</td><td>{r['cold']}</td>"
-                    f"<td>{r['p50']:.1f}</td><td>{r['p95']:.1f}</td>"
-                    f"<td>{r['max']}</td></tr>"
-                )
-            parts.append("</table>")
-    parts.append("</body></html>")
-    return "".join(parts)
+            parts.append(table(
+                ["array", "accesses", "cold", "p50", "p95", "max"],
+                [[name, reuse[name]["accesses"], reuse[name]["cold"],
+                  f"{reuse[name]['p50']:.1f}",
+                  f"{reuse[name]['p95']:.1f}", reuse[name]["max"]]
+                 for name in sorted(reuse)],
+            ))
+    return page("repro hotspots", parts)
+
+
+def _fmt_bytes(n) -> str:
+    if not isinstance(n, (int, float)):
+        return "?"
+    return f"{n / 1e6:.0f} MB" if n >= 1e6 else f"{n / 1e3:.0f} kB"
+
+
+def format_status_text(status: Mapping) -> str:
+    """Terminal rendering of one run's :class:`RunStatus` dict — the
+    ``repro status`` / ``repro watch`` display."""
+    s = status
+    lines: List[str] = []
+    pid = s.get("pid")
+    alive = s.get("pid_alive")
+    liveness = {True: " (alive)", False: " (dead)"}.get(alive, "")
+    lines.append(f"run {s.get('run_id', '?')}  state={s.get('state', '?')}"
+                 f"  pid {pid if pid else '?'}{liveness}")
+
+    total = s.get("total") or 0
+    finished = s.get("finished") or 0
+    frac = s.get("progress")
+    if frac is None:
+        frac = finished / total if total else 1.0
+    width = 30
+    filled = min(int(width * frac), width)
+    tail = ""
+    if s.get("ewma_latency") is not None:
+        tail += f"  ewma {s['ewma_latency']:.3g}s/pt"
+    if s.get("eta") is not None:
+        tail += f"  eta {s['eta']:.3g}s"
+    lines.append(f"[{'#' * filled}{'.' * (width - filled)}] "
+                 f"{finished}/{total} {frac * 100:.0f}%{tail}")
+
+    lines.append(
+        f"ok {s.get('ok', 0)}  errors {s.get('errors', 0)}  "
+        f"degraded {s.get('degraded', 0)}  retried {s.get('retried', 0)}  "
+        f"store-hits {s.get('store_hits', 0)}  waves {s.get('waves', 0)}  "
+        f"resumes {s.get('resumes', 0)}")
+    extras = []
+    if s.get("cache_hit_rate") is not None:
+        extras.append(f"cache hit rate {s['cache_hit_rate'] * 100:.1f}%")
+    if s.get("heartbeat_age") is not None:
+        extras.append(f"heartbeat {s['heartbeat_age']:.1f}s ago")
+    if s.get("rss") is not None:
+        extras.append(f"rss {_fmt_bytes(s['rss'])}")
+    if extras:
+        lines.append("  ".join(extras))
+
+    in_flight = s.get("in_flight") or []
+    if in_flight:
+        labels = ", ".join(str(p.get("label", p.get("i")))
+                           for p in in_flight[:8])
+        more = f", +{len(in_flight) - 8} more" if len(in_flight) > 8 else ""
+        lines.append(f"in flight ({len(in_flight)}): {labels}{more}")
+
+    matrix = s.get("scheme_matrix") or {}
+    if matrix:
+        schemes = sorted({sch for cells in matrix.values()
+                          for sch in cells})
+        lines.append("")
+        header = f"{'app':16s}" + "".join(f"{sch:>10s}" for sch in schemes)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for app in sorted(matrix):
+            row = f"{app:16s}"
+            for sch in schemes:
+                done, tot = (matrix[app].get(sch) or [0, 0])[:2]
+                row += f"{f'{done}/{tot}':>10s}"
+            lines.append(row)
+    if s.get("torn_tail") or s.get("bad_lines"):
+        lines.append(f"journal damage: torn_tail={bool(s.get('torn_tail'))}"
+                     f" bad_lines={s.get('bad_lines', 0)}")
+    return "\n".join(lines)
+
+
+def format_series_table(rows: Sequence[Mapping], limit: int = 0) -> str:
+    """The ``repro series`` trend table: one row per tracked metric,
+    regressions and counter drifts highlighted with a leading ``!``."""
+    lines: List[str] = []
+    shown = list(rows[:limit]) if limit and limit > 0 else list(rows)
+    header = (f"  {'metric':44s} {'unit':12s} {'runs':>5s} "
+              f"{'last':>10s} {'prev':>10s} {'misses':>8s}  status")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in shown:
+        mark = "! " if r.get("status") in ("regressed", "changed") else "  "
+        prev = r.get("prev")
+        misses = r.get("misses")
+        line = (
+            f"{mark}{str(r.get('key', '?')):44s} "
+            f"{str(r.get('unit', '')):12s} {r.get('runs', 0):>5d} "
+            f"{r.get('value', 0):>10.4g} "
+            f"{(f'{prev:.4g}' if prev is not None else '-'):>10s} "
+            f"{(str(misses) if misses is not None else '-'):>8s}  "
+            f"{r.get('status', '')}"
+        )
+        if r.get("note"):
+            line += f"  ({r['note']})"
+        lines.append(line)
+    if limit and limit > 0 and len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more rows "
+                     f"(raise --limit to see them)")
+    if not rows:
+        lines.append("(series history is empty — run `repro bench` or "
+                     "the pytest benchmarks to grow it)")
+    return "\n".join(lines)
+
+
+def run_report_html(payload: Mapping) -> str:
+    """Self-contained HTML run report from a
+    :func:`repro.obs.runstate.build_report` payload: status summary,
+    progress/rss curves from the time series, per-point table, and the
+    degradation / failure / decision rollups.  Everything inline — the
+    file renders from a CI artifact tab with no other assets."""
+    from repro.obs.html import page, svg_line, table
+
+    s = payload.get("status") or {}
+    parts: List[str] = []
+
+    state = s.get("state", "?")
+    state_style = {"finished": "background:#dfd",
+                   "running": "background:#dfd",
+                   "interrupted": "background:#fdd",
+                   "stale": "background:#fec"}.get(state, "")
+    parts.append("<h2>status</h2>")
+    parts.append(table(
+        ["run", "state", "progress", "ok", "errors", "degraded",
+         "retried", "store hits", "waves", "resumes", "eta (s)"],
+        [[s.get("run_id", "?"), (state, state_style),
+          f"{s.get('finished', 0)}/{s.get('total', 0)}",
+          s.get("ok", 0), s.get("errors", 0), s.get("degraded", 0),
+          s.get("retried", 0), s.get("store_hits", 0),
+          s.get("waves", 0), s.get("resumes", 0),
+          s.get("eta") if s.get("eta") is not None else "-"]],
+    ))
+    in_flight = s.get("in_flight") or []
+    if in_flight:
+        labels = ", ".join(str(p.get("label", p.get("i")))
+                           for p in in_flight)
+        parts.append(f"<p class='meta'>in flight ({len(in_flight)}): "
+                     f"{labels}</p>")
+
+    curves = (payload.get("series") or {}).get("curves") or {}
+    if curves:
+        parts.append("<h2>time series</h2>")
+        for name, unit in (("finished", "points"),
+                           ("dispatched", "points"),
+                           ("errors", "points"),
+                           ("store_hits", "points"),
+                           ("rss_mb", "MB")):
+            pts = curves.get(name)
+            if pts:
+                parts.append(svg_line(pts, label=name, unit=unit))
+    else:
+        parts.append("<p class='meta'>no time-series samples for this "
+                     "run (driver ran without --heartbeat?)</p>")
+
+    rows = payload.get("points") or []
+    if rows:
+        parts.append("<h2>points</h2>")
+        parts.append(table(
+            ["#", "point", "ok", "elapsed s", "sim time", "store hit",
+             "attempts", "degraded"],
+            [[r.get("i"), (r.get("label", "?"), ""),
+              ("yes", "") if r.get("ok") else ("NO", "background:#fdd"),
+              (f"{r['elapsed']:.3f}"
+               if isinstance(r.get("elapsed"), (int, float)) else "-"),
+              (f"{r['total_time']:.1f}"
+               if isinstance(r.get("total_time"), (int, float)) else "-"),
+              "hit" if r.get("store_hit") else "",
+              r.get("attempts", 1),
+              "degraded" if r.get("degraded") else ""]
+             for r in rows],
+            left_cols=2,
+        ))
+
+    for key, title, headers, render in (
+        ("degraded", "degraded points", ["point", "reason"],
+         lambda d: [d.get("label"), d.get("reason")]),
+        ("failures", "failures", ["point", "error"],
+         lambda d: [d.get("label"), str(d.get("error", ""))[:200]]),
+    ):
+        items = payload.get(key) or []
+        if items:
+            parts.append(f"<h2>{title}</h2>")
+            parts.append(table(headers, [render(d) for d in items],
+                               left_cols=1))
+
+    decisions = payload.get("decisions") or {}
+    if decisions:
+        parts.append("<h2>compiler decisions</h2>")
+        parts.append(table(["decision", "points"],
+                           list(decisions.items())))
+
+    timeline = [e for e in (payload.get("timeline") or [])
+                if e.get("type") != "heartbeat"]
+    if timeline:
+        parts.append("<h2>timeline</h2>")
+        shown = timeline[:400]
+        parts.append(table(
+            ["t (s)", "event", "detail"],
+            [[f"{e.get('t', 0):.3f}", e.get("type"),
+              e.get("label") or
+              (f"wave {e.get('wave')} ({e.get('pending')} pending)"
+               if e.get("type") == "wave" else
+               f"point {e.get('i')} "
+               f"{'ok' if e.get('ok') else 'failed'}")]
+             for e in shown],
+            left_cols=0,
+        ))
+        if len(timeline) > len(shown):
+            parts.append(f"<p class='meta'>... {len(timeline) - len(shown)}"
+                         " more events</p>")
+
+    hdr = payload.get("header") or {}
+    parts.append(f"<p class='meta'>journal schema {hdr.get('schema', '?')}"
+                 f" · created {hdr.get('created', '?')}"
+                 f" · samples {(payload.get('series') or {}).get('samples', 0)}"
+                 "</p>")
+    return page(f"repro run report — {payload.get('run_id', '?')}", parts)
 
 
 def profile_as_dict(result) -> Dict:

@@ -264,3 +264,83 @@ class TestBenchCLI:
     def test_unknown_app_rejected(self, tmp_path):
         with pytest.raises(SystemExit, match="unknown app"):
             main(["bench", "--apps", "bogus", "--no-save"])
+
+
+class TestSeriesTrends:
+    """The ``repro series`` rollup: bench digests and figure curves
+    judged last-vs-previous."""
+
+    def _bench_line(self, created, wall, misses):
+        return {"schema": 2, "created": created, "name": "bench",
+                "kind": "bench",
+                "points": [{"point": "simple/comp/P4",
+                            "wall_p50": wall, "misses": misses}]}
+
+    def _figure_line(self, created, speedup):
+        return {"schema": 2, "created": created, "name": "fig_speedup",
+                "series": {"OPT": [[1, 1.0], [8, speedup]]}}
+
+    def test_single_sample_is_new(self):
+        rows = bench.series_trends([self._bench_line("t0", 0.01, 5)])
+        assert [r["status"] for r in rows] == ["new"]
+        assert rows[0]["prev"] is None and rows[0]["runs"] == 1
+
+    def test_wall_regression_needs_relative_and_absolute(self):
+        # +200% but only +0.002s absolute: under the floor, not flagged.
+        rows = bench.series_trends([self._bench_line("t0", 0.001, 5),
+                                    self._bench_line("t1", 0.003, 5)])
+        assert rows[0]["status"] == "ok"
+        # +200% and +0.02s absolute: regression.
+        rows = bench.series_trends([self._bench_line("t0", 0.01, 5),
+                                    self._bench_line("t1", 0.03, 5)])
+        assert rows[0]["status"] == "regressed"
+
+    def test_miss_drift_overrides_wall_verdict(self):
+        rows = bench.series_trends([self._bench_line("t0", 0.01, 100),
+                                    self._bench_line("t1", 0.01, 101)])
+        assert rows[0]["status"] == "changed"
+        assert "100 → 101" in rows[0]["note"]
+
+    def test_figure_speedup_judged_at_max_procs(self):
+        rows = bench.series_trends([self._figure_line("t0", 5.0),
+                                    self._figure_line("t1", 3.0)])
+        assert rows[0]["key"] == "fig_speedup:OPT@P8"
+        assert rows[0]["unit"] == "speedup"
+        assert rows[0]["status"] == "regressed"
+        rows = bench.series_trends([self._figure_line("t0", 5.0),
+                                    self._figure_line("t1", 5.1)])
+        assert rows[0]["status"] == "ok"
+
+    def test_garbled_and_unknown_lines_ignored(self):
+        rows = bench.series_trends([
+            {"kind": "bench", "points": [{"point": None, "wall_p50": 1}]},
+            {"series": "not a dict"},
+            {"unrelated": True},
+            self._bench_line("t0", 0.01, 5),
+        ])
+        assert len(rows) == 1
+
+
+class TestAppendBenchSeries:
+    def test_digest_round_trip(self, snap, tmp_path):
+        path = tmp_path / "series.jsonl"
+        out = bench.append_bench_series(snap, path=path)
+        assert out == str(path)
+        lines = bench.load_series_lines(path)
+        assert len(lines) == 1
+        assert lines[0]["kind"] == "bench"
+        digest = {p["point"]: p for p in lines[0]["points"]}
+        for p in snap["points"]:
+            key = bench.point_key(p)
+            assert digest[key]["wall_p50"] == p["wall"]["p50"]
+            assert digest[key]["misses"] == sum(p["sim"]["misses"].values())
+
+    def test_load_series_lines_is_lenient(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        path.write_text('{"kind": "bench", "points": []}\n'
+                        'garbage\n'
+                        '[1, 2]\n'
+                        '{"name": "ok"}\n')
+        lines = bench.load_series_lines(path)
+        assert len(lines) == 2
+        assert bench.load_series_lines(tmp_path / "missing.jsonl") == []

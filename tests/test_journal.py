@@ -223,3 +223,46 @@ class TestAppendFaults:
         state = JournalState.load(tmp_path / f"{writer.run_id}.jsonl")
         assert state.torn_tail
         assert state.finished_results() == {}
+
+
+class TestHeartbeats:
+    def test_heartbeat_replay_and_in_flight(self, tmp_path):
+        points = _points()
+        writer = JournalWriter.create(tmp_path, _spec(points))
+        writer.point_started(0, points[0])
+        writer.point_started(1, points[1])
+        writer.point_done(0, _result(points[0]))
+        writer.heartbeat(pid=999, wave=1, finished=1, in_flight=[1])
+        writer.close()
+        state = JournalState.load(tmp_path / f"{writer.run_id}.jsonl")
+        state.validate()
+        assert state.heartbeats == 1
+        assert state.last_heartbeat["finished"] == 1
+        assert state.pid == 999  # heartbeat pid wins over header pid
+        assert state.in_flight == [1]  # started, never journaled done
+        assert state.started == 2
+
+    def test_heartbeats_are_never_fsynced(self, tmp_path):
+        obs.enable(reset=True)
+        writer = JournalWriter.create(tmp_path, _spec(_points()))
+        writer.heartbeat(finished=0)
+        writer.heartbeat(finished=0)
+        writer.close()
+        c = obs.collector().metrics.counters
+        # Durable records still fsync one-for-one; the two heartbeats
+        # are flushed only.
+        assert c["journal.appends"].value == c["journal.fsyncs"].value + 2
+        assert c["journal.heartbeats"].value == 2
+
+    def test_start_records_carry_timestamps(self, tmp_path):
+        points = _points()
+        writer = JournalWriter.create(tmp_path, _spec(points))
+        writer.point_started(0, points[0])
+        writer.point_done(0, _result(points[0]))
+        writer.close()
+        path = tmp_path / f"{writer.run_id}.jsonl"
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        by_type = {r["type"]: r for r in records}
+        assert isinstance(by_type["start"]["t"], float)
+        assert isinstance(by_type["done"]["t"], float)
+        assert by_type["done"]["t"] >= by_type["start"]["t"]

@@ -164,3 +164,144 @@ class TestDiffTable:
         bad.write_text('{"hello": 1}')
         assert main(["diff", str(bad), str(bad)]) == 2
         assert "points" in capsys.readouterr().err
+
+
+class TestStatusText:
+    def _status(self, **over):
+        base = {
+            "run_id": "RUN_x", "state": "running", "pid": 4242,
+            "pid_alive": True, "total": 6, "finished": 3,
+            "progress": 0.5, "ok": 3, "errors": 0, "degraded": 0,
+            "retried": 1, "store_hits": 1, "waves": 1, "resumes": 0,
+            "ewma_latency": 0.02, "eta": 0.03, "cache_hit_rate": 0.25,
+            "heartbeat_age": 0.4, "rss": 50_000_000,
+            "in_flight": [{"i": 4, "label": "simple/comp/P4"}],
+            "scheme_matrix": {"simple": {"base": [2, 2],
+                                         "comp": [1, 2],
+                                         "data": [0, 2]}},
+            "torn_tail": False, "bad_lines": 0,
+        }
+        base.update(over)
+        return base
+
+    def test_running_snapshot(self):
+        from repro.report import format_status_text
+
+        text = format_status_text(self._status())
+        assert "run RUN_x  state=running  pid 4242 (alive)" in text
+        assert "3/6 50%" in text
+        assert "#" * 15 + "." * 15 in text  # half-full bar
+        assert "ewma 0.02s/pt" in text and "eta 0.03s" in text
+        assert "cache hit rate 25.0%" in text
+        assert "rss 50 MB" in text
+        assert "in flight (1): simple/comp/P4" in text
+        assert "1/2" in text and "0/2" in text  # the scheme matrix
+        assert "journal damage" not in text
+
+    def test_in_flight_overflow_and_damage(self):
+        from repro.report import format_status_text
+
+        many = [{"i": i, "label": f"p{i}"} for i in range(12)]
+        text = format_status_text(self._status(
+            in_flight=many, torn_tail=True, bad_lines=2))
+        assert "in flight (12):" in text and "+4 more" in text
+        assert "journal damage: torn_tail=True bad_lines=2" in text
+
+    def test_minimal_dict_renders(self):
+        from repro.report import format_status_text
+
+        text = format_status_text({"state": "interrupted"})
+        assert "state=interrupted" in text
+        assert "pid ?" in text
+
+
+class TestSeriesTable:
+    ROWS = [
+        {"key": "simple/comp/P4", "unit": "wall p50 s", "runs": 3,
+         "value": 0.03, "prev": 0.01, "misses": 101,
+         "status": "regressed", "note": "wall p50 up 200%"},
+        {"key": "fig:OPT@P8", "unit": "speedup", "runs": 2,
+         "value": 5.0, "prev": 4.9, "misses": None, "status": "ok"},
+    ]
+
+    def test_flags_and_alignment(self):
+        from repro.report import format_series_table
+
+        text = format_series_table(self.ROWS)
+        lines = text.splitlines()
+        assert lines[2].startswith("! simple/comp/P4")
+        assert "(wall p50 up 200%)" in lines[2]
+        assert lines[3].startswith("  fig:OPT@P8")
+        assert "-" in lines[3]  # None prev/misses render as dashes
+
+    def test_limit_hides_tail(self):
+        from repro.report import format_series_table
+
+        text = format_series_table(self.ROWS, limit=1)
+        assert "fig:OPT@P8" not in text
+        assert "... 1 more rows" in text
+
+    def test_empty_history_hint(self):
+        from repro.report import format_series_table
+
+        assert "series history is empty" in format_series_table([])
+
+
+class TestRunReportHtml:
+    def _payload(self):
+        return {
+            "schema": 1,
+            "run_id": "RUN_x",
+            "status": {"run_id": "RUN_x", "state": "interrupted",
+                       "total": 2, "finished": 1, "ok": 1, "errors": 0,
+                       "degraded": 0, "retried": 0, "store_hits": 0,
+                       "waves": 1, "resumes": 0, "eta": None,
+                       "in_flight": [{"i": 1, "label": "simple/comp/P4"}]},
+            "header": {"schema": 3, "created": "2026-01-01T00:00:00Z"},
+            "timeline": [
+                {"t": 0.0, "type": "wave", "wave": 1, "pending": 2},
+                {"t": 0.01, "type": "start", "i": 0,
+                 "label": "simple/base/P1"},
+                {"t": 0.5, "type": "heartbeat", "finished": 0},
+                {"t": 1.0, "type": "done", "i": 0, "ok": True},
+            ],
+            "points": [{"i": 0, "label": "simple/base/P1", "ok": True,
+                        "elapsed": 0.5, "total_time": 12.0,
+                        "store_hit": False, "attempts": 1,
+                        "degraded": False}],
+            "degraded": [],
+            "failures": [{"i": 1, "label": "simple/comp/P4",
+                          "error": "<boom> & crash"}],
+            "decisions": {"layout: A → (*, BLOCK)": 2},
+            "series": {"samples": 3, "bad_lines": 0, "torn_tail": False,
+                       "curves": {"finished": [[0.0, 0.0], [1.0, 1.0]],
+                                  "rss_mb": [[0.0, 40.0], [1.0, 41.0]]}},
+        }
+
+    def test_report_is_self_contained_and_escaped(self):
+        from repro.report import run_report_html
+
+        html = run_report_html(self._payload())
+        assert html.lstrip().lower().startswith("<!doctype html")
+        assert "RUN_x" in html and "interrupted" in html
+        assert "background:#fdd" in html  # interrupted state is tinted
+        assert "in flight (1): simple/comp/P4" in html
+        assert "<svg" in html and "finished" in html and "rss_mb" in html
+        # Raw error text is escaped, never injected as markup.
+        assert "<boom>" not in html
+        assert "&lt;boom&gt; &amp; crash" in html
+        # Heartbeats stay out of the rendered timeline.
+        assert "heartbeat" not in html.split("timeline", 1)[1]
+        body = html.split("</title>", 1)[1].lower()
+        for needle in ("http://", "https://", "<script src",
+                       "<link rel", "<img"):
+            assert needle not in body
+
+    def test_report_without_series_mentions_heartbeat_flag(self):
+        from repro.report import run_report_html
+
+        payload = self._payload()
+        payload["series"] = {"samples": 0, "bad_lines": 0,
+                             "torn_tail": False, "curves": {}}
+        html = run_report_html(payload)
+        assert "no time-series samples" in html

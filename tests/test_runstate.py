@@ -1,0 +1,305 @@
+"""Live run state: the driver-side RunMonitor (hook accounting, rate
+limiting, best-effort emission) and the reader-side status snapshot
+(run-state classification, EWMA latency → ETA, per-scheme matrix,
+cache-hit rate) derived from the journal alone, plus the report
+payload that stitches journal + time series together."""
+
+import subprocess
+import time
+from dataclasses import asdict
+
+import pytest
+
+from repro import obs
+from repro.errors import JournalError
+from repro.obs.runstate import (
+    RunMonitor,
+    build_report,
+    load_status,
+    pid_alive,
+    rss_bytes,
+    status_from_state,
+)
+from repro.obs.timeseries import TimeseriesSink, ts_path
+from repro.pipeline.grid import GridPoint, GridResult
+from repro.pipeline.journal import JournalState, JournalWriter, journal_dir
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _points():
+    return [
+        GridPoint(app="simple", scheme=s, nprocs=p, n=8, time_steps=2)
+        for s in ("base", "comp") for p in (1, 4)
+    ]
+
+
+def _spec(points):
+    return {"points": [asdict(p) for p in points],
+            "degrade": True, "locality": False}
+
+
+def _result(point, elapsed=0.5, **kw):
+    return GridResult(point=point, ok=kw.pop("ok", True),
+                      total_time=123.0, n_accesses=42,
+                      miss_breakdown={"cold": 7}, elapsed=elapsed, **kw)
+
+
+def _dead_pid():
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestHelpers:
+    def test_rss_bytes_reports_something_plausible(self):
+        rss = rss_bytes()
+        assert rss is None or rss > 1_000_000  # >1 MB for a python proc
+
+    def test_pid_alive(self):
+        import os
+        assert pid_alive(None) is None
+        assert pid_alive(0) is None
+        assert pid_alive(os.getpid()) is True
+        assert pid_alive(_dead_pid()) is False
+
+
+class TestRunMonitor:
+    def test_hook_accounting(self):
+        m = RunMonitor(total=4, interval=1000)
+        m.wave_started(1, pending=4)
+        for i in range(3):
+            m.point_dispatched(i)
+        assert sorted(m._in_flight) == [0, 1, 2]
+        m.point_finished(0, _result(_points()[0]))
+        m.point_finished(1, _result(_points()[1], ok=False, attempts=3))
+        m.point_finished(2, _result(_points()[2], degraded=True,
+                                    attempts=2))
+        served = _result(_points()[3], ok=False, store_hit=True)
+        m.point_dispatched(3)
+        m.point_finished(3, served)
+        snap = m.progress()
+        assert snap["dispatched"] == 4 and snap["finished"] == 4
+        assert snap["errors"] == 1          # store hits never count
+        assert snap["degraded"] == 1
+        assert snap["retried"] == 2
+        assert snap["store_hits"] == 1
+        assert snap["in_flight"] == []
+        assert snap["wave"] == 1 and snap["total"] == 4
+
+    def test_tick_is_rate_limited(self):
+        m = RunMonitor(total=1, interval=1000)
+        assert m.tick() is True        # first tick always lands
+        assert m.tick() is False       # inside the interval
+        assert m.tick(force=True) is True
+        assert m.ticks == 2
+
+    def test_heartbeats_land_in_journal_and_series(self, tmp_path):
+        points = _points()
+        writer = JournalWriter.create(tmp_path, _spec(points))
+        sink = TimeseriesSink(ts_path(tmp_path, writer.run_id),
+                              writer.run_id)
+        m = RunMonitor(total=len(points), journal=writer, sink=sink,
+                       interval=1000, jobs=2)
+        m.wave_started(1, pending=4)
+        m.point_dispatched(0)
+        m.point_finished(0, _result(points[0]))
+        m.close()  # forced final tick
+        writer.close()
+
+        state = JournalState.load(tmp_path / f"{writer.run_id}.jsonl")
+        assert state.heartbeats == 2  # wave tick + close tick
+        hb = state.last_heartbeat
+        assert hb["finished"] == 1 and hb["total"] == 4
+        assert hb["jobs"] == 2 and hb["in_flight"] == []
+        from repro.obs.timeseries import load_series
+        series = load_series(ts_path(tmp_path, writer.run_id))
+        assert len(series["samples"]) == 2
+        assert series["samples"][-1]["progress"]["finished"] == 1
+
+    def test_emission_failure_is_swallowed_and_counted(self):
+        obs.enable()
+
+        class Boom:
+            def heartbeat(self, **kw):
+                raise OSError("disk gone")
+
+        m = RunMonitor(total=1, journal=Boom(), interval=1000)
+        assert m.tick() is True  # the failure must not propagate
+        c = obs.collector().metrics.counters
+        assert c["monitor.errors"].value == 1
+        assert c["monitor.ticks"].value == 1
+
+
+class TestStatusFromState:
+    def _journal(self, tmp_path, points=None):
+        points = points if points is not None else _points()
+        return points, JournalWriter.create(tmp_path, _spec(points))
+
+    def _load(self, tmp_path, writer):
+        return JournalState.load(tmp_path / f"{writer.run_id}.jsonl")
+
+    def test_finished_run(self, tmp_path):
+        points, writer = self._journal(tmp_path)
+        writer.wave(1, len(points))
+        for i, p in enumerate(points):
+            writer.point_started(i, p)
+            writer.point_done(i, _result(p))
+        writer.end("complete", executed=len(points))
+        writer.close()
+        st = status_from_state(self._load(tmp_path, writer))
+        assert st.state == "finished"
+        assert st.total == 4 and st.finished == 4 and st.ok == 4
+        assert st.progress == 1.0 and st.eta is None
+        assert st.in_flight == []
+        # Every (app, scheme) cell complete.
+        assert st.scheme_matrix == {"simple": {"base": [2, 2],
+                                               "comp": [2, 2]}}
+
+    def test_running_run_with_in_flight_and_eta(self, tmp_path):
+        points, writer = self._journal(tmp_path)
+        writer.wave(1, len(points))
+        for i in (0, 1):
+            writer.point_started(i, points[i])
+        writer.point_done(0, _result(points[0], elapsed=1.0))
+        writer.point_done(1, _result(points[1], elapsed=2.0))
+        writer.point_started(2, points[2])
+        writer.heartbeat(jobs=2, finished=2)
+        writer.close()
+        st = status_from_state(self._load(tmp_path, writer))
+        assert st.state == "running"  # our (alive) pid wrote the header
+        assert st.finished == 2
+        assert st.in_flight == [{"i": 2, "label": points[2].label()}]
+        # EWMA over executed latencies in journal order:
+        # 1.0 then 0.25*2.0 + 0.75*1.0 = 1.25; two points remain.
+        assert st.ewma_latency == pytest.approx(1.25)
+        assert st.eta == pytest.approx(2 * 1.25 / 2)  # jobs=2 heartbeat
+        assert st.heartbeat_age is not None
+
+    def test_store_hits_excluded_from_ewma(self, tmp_path):
+        points, writer = self._journal(tmp_path)
+        writer.point_done(0, _result(points[0], elapsed=500.0,
+                                     store_hit=True))
+        writer.point_done(1, _result(points[1], elapsed=1.0))
+        writer.close()
+        st = status_from_state(self._load(tmp_path, writer))
+        assert st.store_hits == 1 and st.executed == 1
+        assert st.ewma_latency == pytest.approx(1.0)
+
+    def test_cache_hit_rate(self, tmp_path):
+        points, writer = self._journal(tmp_path)
+        writer.point_done(0, _result(points[0], pass_runs={"sim": 3},
+                                     pass_hits={"sim": 1}))
+        writer.close()
+        st = status_from_state(self._load(tmp_path, writer))
+        assert st.cache_hit_rate == pytest.approx(0.25)
+
+    def test_interrupted_via_end_record(self, tmp_path):
+        points, writer = self._journal(tmp_path)
+        writer.point_done(0, _result(points[0]))
+        writer.end("interrupted", executed=1)
+        writer.close()
+        st = status_from_state(self._load(tmp_path, writer))
+        assert st.state == "interrupted"
+
+    def test_interrupted_via_dead_pid(self, tmp_path):
+        """SIGKILL shape: no end record, driver pid gone."""
+        points, writer = self._journal(tmp_path)
+        writer.point_started(0, points[0])
+        writer.point_started(1, points[1])
+        writer.point_done(0, _result(points[0]))
+        writer.heartbeat(pid=_dead_pid(), finished=1)
+        writer.close()
+        st = status_from_state(self._load(tmp_path, writer))
+        assert st.state == "interrupted"
+        assert st.pid_alive is False
+        assert [e["i"] for e in st.in_flight] == [1]
+
+    def test_stale_when_heartbeat_is_old(self, tmp_path):
+        points, writer = self._journal(tmp_path)
+        writer.heartbeat(finished=0)  # pid in header is us: alive
+        writer.close()
+        st = status_from_state(self._load(tmp_path, writer),
+                               now=time.time() + 60, stale_after=15.0)
+        assert st.state == "stale"
+
+    def test_torn_tail_and_damage_surfaced(self, tmp_path):
+        points, writer = self._journal(tmp_path)
+        writer.point_done(0, _result(points[0]))
+        writer.close()
+        path = tmp_path / f"{writer.run_id}.jsonl"
+        with open(path, "a") as fh:
+            fh.write('{"type": "done", "i": 1, "resu')
+        st = status_from_state(JournalState.load(path))
+        assert st.torn_tail
+        assert st.finished == 1
+
+
+class TestLoadStatusAndReport:
+    def _store_with_run(self, tmp_path, ts=True):
+        store = tmp_path / "store"
+        jdir = journal_dir(store)
+        points = _points()
+        writer = JournalWriter.create(jdir, _spec(points))
+        sink = (TimeseriesSink(ts_path(jdir, writer.run_id),
+                               writer.run_id) if ts else None)
+        m = RunMonitor(total=len(points), journal=writer, sink=sink,
+                       interval=0.05)
+        writer.wave(1, len(points))
+        m.wave_started(1, len(points))
+        for i, p in enumerate(points):
+            writer.point_started(i, p)
+            m.point_dispatched(i)
+            r = _result(p, elapsed=0.01 * (i + 1))
+            writer.point_done(i, r)
+            m.point_finished(i, r)
+            time.sleep(0.06)  # past the monitor interval → extra ticks
+        m.close()
+        writer.end("complete", executed=len(points))
+        writer.close()
+        return store, writer.run_id
+
+    def test_load_status_resolves_latest(self, tmp_path):
+        store, run_id = self._store_with_run(tmp_path)
+        st = load_status(store, "latest")
+        assert st.run_id == run_id
+        assert st.state == "finished"
+        assert load_status(store, run_id).run_id == run_id
+
+    def test_load_status_missing_run_raises(self, tmp_path):
+        with pytest.raises(JournalError):
+            load_status(tmp_path / "no-store", "latest")
+
+    def test_build_report_payload(self, tmp_path):
+        store, run_id = self._store_with_run(tmp_path)
+        payload = build_report(store, "latest")
+        assert payload["schema"] == 1
+        assert payload["run_id"] == run_id
+        assert payload["status"]["state"] == "finished"
+        assert "spec" not in payload["header"]
+        assert len(payload["points"]) == 4
+        assert payload["failures"] == []
+        # Timeline is origin-relative and monotone from zero.
+        ts = [e["t"] for e in payload["timeline"]]
+        assert ts and ts[0] == 0.0 and ts == sorted(ts)
+        kinds = {e["type"] for e in payload["timeline"]}
+        assert {"wave", "start", "done", "heartbeat"} <= kinds
+        # The time series became plottable curves.
+        assert payload["series"]["samples"] >= 2
+        finished_curve = payload["series"]["curves"]["finished"]
+        assert finished_curve[-1][1] == 4.0
+        import json
+        json.dumps(payload)  # --json and --html render the same artifact
+
+    def test_report_without_series_file(self, tmp_path):
+        store, run_id = self._store_with_run(tmp_path, ts=False)
+        payload = build_report(store, "latest")
+        assert payload["series"]["samples"] == 0
+        assert payload["series"]["curves"] == {}

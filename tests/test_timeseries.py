@@ -1,0 +1,115 @@
+"""The per-run metrics time-series sink: header + sample layout,
+lenient reading (torn tail, garbled interior, missing file), metric
+snapshots gated on the obs switch, and the best-effort error
+accounting that keeps monitoring from ever failing a run."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.timeseries import (
+    TS_SCHEMA,
+    TimeseriesSink,
+    load_series,
+    ts_path,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _progress(finished=1):
+    return {"pid": 1234, "wave": 1, "jobs": 2, "total": 4,
+            "dispatched": 2, "finished": finished, "retried": 0,
+            "degraded": 0, "errors": 0, "store_hits": 0,
+            "in_flight": [2], "rss": 10_000_000}
+
+
+class TestSink:
+    def test_path_prefix_keeps_series_out_of_run_glob(self, tmp_path):
+        p = ts_path(tmp_path, "RUN_x")
+        assert p.name == "TS_RUN_x.jsonl"
+        assert p.parent == tmp_path
+
+    def test_header_then_samples(self, tmp_path):
+        path = ts_path(tmp_path, "RUN_x")
+        with TimeseriesSink(path, "RUN_x") as sink:
+            sink.sample(_progress(1))
+            sink.sample(_progress(2))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["schema"] == TS_SCHEMA
+        assert lines[0]["run_id"] == "RUN_x"
+        assert [l["type"] for l in lines[1:]] == ["sample", "sample"]
+        assert lines[1]["progress"]["finished"] == 1
+        assert lines[2]["progress"]["finished"] == 2
+        assert sink.samples == 3  # header + 2 samples
+        assert sink.errors == 0
+
+    def test_metrics_empty_while_obs_disabled(self, tmp_path):
+        path = ts_path(tmp_path, "RUN_x")
+        with TimeseriesSink(path, "RUN_x") as sink:
+            sink.sample(_progress())
+        series = load_series(path)
+        assert series["samples"][0]["metrics"] == {}
+
+    def test_metrics_snapshot_included_when_enabled(self, tmp_path):
+        obs.enable()
+        obs.inc("some.counter", 3)
+        path = ts_path(tmp_path, "RUN_x")
+        with TimeseriesSink(path, "RUN_x") as sink:
+            sink.sample(_progress())
+        series = load_series(path)
+        metrics = series["samples"][0]["metrics"]
+        assert metrics["counters"]["some.counter"] == 3
+        # The sink counts its own appends into the registry too.
+        c = obs.collector().metrics.counters
+        assert c["ts.samples"].value == sink.samples
+
+    def test_unwritable_path_is_counted_not_raised(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file blocks the mkdir")
+        sink = TimeseriesSink(target / "TS_RUN_x.jsonl", "RUN_x")
+        sink.sample(_progress())  # must not raise
+        sink.close()
+        assert sink.errors >= 1
+        assert sink.samples == 0
+
+
+class TestLoadSeries:
+    def test_missing_file_yields_empty_series(self, tmp_path):
+        series = load_series(tmp_path / "TS_RUN_gone.jsonl")
+        assert series["header"] is None
+        assert series["samples"] == []
+        assert not series["torn_tail"] and series["bad_lines"] == 0
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = ts_path(tmp_path, "RUN_x")
+        with TimeseriesSink(path, "RUN_x") as sink:
+            sink.sample(_progress())
+        with open(path, "a") as fh:
+            fh.write('{"type": "sample", "t": 1.0, "prog')
+        series = load_series(path)
+        assert series["torn_tail"]
+        assert len(series["samples"]) == 1
+
+    def test_garbled_interior_line_loses_only_itself(self, tmp_path):
+        path = ts_path(tmp_path, "RUN_x")
+        with TimeseriesSink(path, "RUN_x") as sink:
+            sink.sample(_progress(1))
+            sink.sample(_progress(2))
+        lines = path.read_text().splitlines(keepends=True)
+        lines.insert(1, "garbage not json\n")
+        path.write_text("".join(lines))
+        series = load_series(path)
+        assert series["bad_lines"] == 1
+        assert not series["torn_tail"]
+        assert [s["progress"]["finished"] for s in series["samples"]] == [1, 2]
+        assert series["header"]["run_id"] == "RUN_x"
