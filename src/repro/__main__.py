@@ -407,7 +407,10 @@ def cmd_hotspots(args) -> int:
     )
     progs = {}
     points = []
-    profiler = HotspotProfiler(interval=args.interval)
+    # Collapsed stacks are only accumulated when a flamegraph was
+    # asked for; the default sampling path stays unchanged.
+    profiler = HotspotProfiler(interval=args.interval,
+                               collect_stacks=bool(args.flame))
     profiler.start()
     try:
         for point in spec.points():
@@ -471,6 +474,13 @@ def cmd_hotspots(args) -> int:
             _write_text(args.json, text + "\n", "hotspots JSON")
     if args.html:
         _write_text(args.html, hotspots_html(payload), "hotspots HTML")
+    if args.flame:
+        from repro.obs.flame import flamegraph_svg
+
+        _write_text(args.flame,
+                    flamegraph_svg(report.stacks or {},
+                                   title="repro hotspots"),
+                    "flamegraph SVG")
 
     if args.expect_hot:
         ranked_fns = [f.key for f in report.top(5, include_external=False)]
@@ -963,6 +973,27 @@ def cmd_bench(args) -> int:
                 ))
             except Exception as exc:  # never mask the regression exit
                 print(f"(root-cause diff unavailable: {exc})")
+            # When the wall gate (or a ledger row) tripped, also rank
+            # the ledger rows whose self time moved — the differential
+            # attribution that names the pass/phase responsible.
+            wall_trip = any(
+                r.failing and (r.metric.startswith("wall.")
+                               or r.metric.endswith(".self_s"))
+                for r in cmp.rows)
+            if wall_trip:
+                try:
+                    from repro.obs.perf import perf_diff
+                    from repro.report import format_perf_diff_table
+
+                    print()
+                    print(format_perf_diff_table(
+                        perf_diff(baseline, snap,
+                                  wall_tol=args.wall_tol,
+                                  wall_abs_floor=args.wall_abs_floor),
+                        title="perf culprits vs baseline",
+                    ))
+                except Exception as exc:
+                    print(f"(perf culprit table unavailable: {exc})")
     return rc
 
 
@@ -1158,6 +1189,85 @@ def cmd_diff(args) -> int:
     return 1 if diff.significant else 0
 
 
+def cmd_perf(args) -> int:
+    """``python -m repro perf``: differential performance attribution
+    (record a wall-time ledger, or diff two runs' ledgers)."""
+    return {"record": _cmd_perf_record,
+            "diff": _cmd_perf_diff}[args.perf_command](args)
+
+
+def _cmd_perf_record(args) -> int:
+    from repro.obs.flame import flamegraph_svg
+    from repro.obs.perf import record_point
+    from repro.report import format_ledger_table
+
+    if args.app not in ALL_APPS:
+        raise SystemExit(
+            f"unknown app {args.app!r}; available: "
+            f"{', '.join(sorted(ALL_APPS))}"
+        )
+    try:
+        scheme = parse_scheme(args.scheme)
+        payload = record_point(
+            args.app, scheme, args.procs, n=args.n,
+            time_steps=args.time_steps, scale=args.scale,
+            interval=args.interval,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    point = payload["points"][0]
+    label = f"{point['app']}/{point['scheme']}/P{point['nprocs']}"
+    print(format_ledger_table(
+        point["perf"]["ledger"],
+        title=f"wall-time ledger: {label}", top=args.top,
+    ))
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            _write_text(args.json, text + "\n", "perf record JSON")
+    if args.stacks:
+        from repro.obs.export import write_collapsed
+
+        try:
+            write_collapsed(args.stacks, point["perf"]["stacks"])
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write collapsed stacks to {args.stacks}: {exc}")
+        print(f"\nwrote collapsed stacks to {args.stacks}")
+    if args.flame:
+        _write_text(
+            args.flame,
+            flamegraph_svg(point["perf"]["stacks"],
+                           title=f"repro perf: {label}"),
+            "flamegraph SVG",
+        )
+    return 0
+
+
+def _cmd_perf_diff(args) -> int:
+    from repro.obs import provenance
+    from repro.obs.perf import perf_diff
+    from repro.report import format_perf_diff_table
+
+    try:
+        run_a = provenance.load_run(args.run_a)
+        run_b = provenance.load_run(args.run_b)
+    except (OSError, ValueError) as exc:
+        print(f"perf diff: {exc}", file=sys.stderr)
+        return 2
+    pd = perf_diff(run_a, run_b, wall_tol=args.wall_tol,
+                   wall_abs_floor=args.wall_abs_floor)
+    if args.json:
+        print(json.dumps(pd.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_perf_diff_table(
+            pd, title=f"perf diff: {args.run_a} vs {args.run_b}",
+            top=args.top))
+    return 1 if pd.significant else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1251,6 +1361,9 @@ def main(argv=None) -> int:
     p.add_argument("--expect-hot", default=None, metavar="SUBSTR",
                    help="exit nonzero unless SUBSTR appears in the "
                         "top-5 self-time ranking (CI guard)")
+    p.add_argument("--flame", default=None, metavar="PATH",
+                   help="write a self-contained flamegraph SVG of the "
+                        "sampled stacks")
     _add_cache_flags(p)
 
     p = sub.add_parser(
@@ -1501,6 +1614,58 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the structured diff as JSON")
 
+    p = sub.add_parser(
+        "perf",
+        help="differential performance attribution: record a "
+             "wall-time ledger + flamegraph for one point, or diff "
+             "two runs' ledgers",
+    )
+    psub = p.add_subparsers(dest="perf_command", required=True)
+    pp = psub.add_parser(
+        "record",
+        help="measure one (app, scheme, procs) point: ledger table, "
+             "optional flamegraph/collapsed stacks/JSON payload",
+    )
+    pp.add_argument("app")
+    pp.add_argument("--scheme", choices=sorted(SCHEME_ALIASES),
+                    default="data")
+    pp.add_argument("--procs", type=_positive_int, default=4)
+    pp.add_argument("--n", type=_positive_int, default=16)
+    pp.add_argument("--time-steps", type=_positive_int, default=None)
+    pp.add_argument("--scale", type=_positive_int, default=16)
+    pp.add_argument("--interval", type=_positive_int, default=None,
+                    help="profile events between stack samples")
+    pp.add_argument("--top", type=_positive_int, default=25,
+                    help="ledger rows to print")
+    pp.add_argument("--json", default=None, metavar="PATH",
+                    help="write the run (ledger + stacks) as JSON — "
+                         "perf-diffable against bench snapshots; '-' "
+                         "for stdout")
+    pp.add_argument("--flame", default=None, metavar="PATH",
+                    help="write a self-contained flamegraph SVG")
+    pp.add_argument("--stacks", default=None, metavar="PATH",
+                    help="write the raw collapsed-stack lines "
+                         "(flamegraph.pl input)")
+    pp = psub.add_parser(
+        "diff",
+        help="rank the ledger rows whose self time moved between two "
+             "runs (bench snapshots or perf records); exits 1 when "
+             "significant",
+    )
+    pp.add_argument("run_a", help="baseline run file")
+    pp.add_argument("run_b", help="candidate run file")
+    pp.add_argument("--wall-tol", type=_positive_float, default=0.30,
+                    help="relative self-time tolerance (same host "
+                         "only)")
+    pp.add_argument("--wall-abs-floor", type=_nonneg_float,
+                    default=0.010,
+                    help="absolute self-time slack in seconds; a "
+                         "culprit must exceed both thresholds")
+    pp.add_argument("--top", type=_positive_int, default=20,
+                    help="ranked rows to print")
+    pp.add_argument("--json", action="store_true",
+                    help="emit the structured diff as JSON")
+
     args = parser.parse_args(argv)
     try:
         return {
@@ -1520,6 +1685,7 @@ def main(argv=None) -> int:
             "series": cmd_series,
             "explain": cmd_explain,
             "diff": cmd_diff,
+            "perf": cmd_perf,
         }[args.command](args)
     except BrokenPipeError:
         # The reader went away (`repro status | head`): the shell

@@ -21,6 +21,11 @@ Recognized sites and what the consumers do when they fire:
                    memory-only (``disk_errors`` counter)
 ``pass``           a :class:`~repro.errors.FaultInjected` is raised
                    mid-pass → degradation / per-point error isolation
+``pass.stall``     a pass sleeps ``stall_s`` seconds inside its span —
+                   a pure *slowdown*, not a failure; narrow it to one
+                   pass with ``stall_pass=<name>``.  The perf CI job
+                   plants a deterministic wall-time culprit this way
+                   and requires ``repro perf diff`` to attribute it
 ``worker.crash``   a batch worker process hard-exits (``os._exit``) →
                    the driver respawns the pool and retries
 ``worker.stall``   a batch worker sleeps ``stall_s`` seconds → the
@@ -64,6 +69,7 @@ __all__ = [
     "corrupt",
     "current_plan",
     "maybe_driver_kill",
+    "maybe_pass_stall",
     "maybe_worker_faults",
     "should_fire",
 ]
@@ -71,7 +77,8 @@ __all__ = [
 ENV_FLAG = "REPRO_FAULTS"
 
 SITES = (
-    "cache.read", "cache.write", "pass", "worker.crash", "worker.stall",
+    "cache.read", "cache.write", "pass", "pass.stall",
+    "worker.crash", "worker.stall",
     "disk.enospc", "disk.torn_write", "driver.kill",
 )
 
@@ -85,6 +92,8 @@ class FaultPlan:
     seed: int = 0
     rates: Dict[str, float] = field(default_factory=dict)
     stall_seconds: float = 30.0
+    # Restrict "pass.stall" to one pass name; empty = every pass.
+    stall_pass: str = ""
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
@@ -106,6 +115,8 @@ class FaultPlan:
                     plan.seed = int(value)
                 elif key in ("stall_s", "stall_seconds"):
                     plan.stall_seconds = float(value)
+                elif key == "stall_pass":
+                    plan.stall_pass = value
                 elif key in SITES:
                     rate = float(value)
                     if not (0.0 <= rate <= 1.0):
@@ -125,6 +136,8 @@ class FaultPlan:
     def spec(self) -> str:
         """Round-trippable spec string (for handing to subprocesses)."""
         parts = [f"seed={self.seed}", f"stall_s={self.stall_seconds:g}"]
+        if self.stall_pass:
+            parts.append(f"stall_pass={self.stall_pass}")
         parts += [f"{k}={v:g}" for k, v in sorted(self.rates.items())]
         return ",".join(parts)
 
@@ -205,6 +218,22 @@ def maybe_worker_faults() -> None:
     if should_fire("worker.crash"):
         os._exit(3)
     if should_fire("worker.stall"):
+        time.sleep(plan.stall_seconds)
+
+
+def maybe_pass_stall(pass_name: str) -> None:
+    """Fire the ``pass.stall`` fault: sleep ``stall_s`` seconds inside
+    the named pass's span.  Unlike the ``pass`` site this is a pure
+    slowdown — the pass still succeeds — so the wall-time ledger books
+    the sleep against that pass and ``repro perf diff`` must name it
+    as the culprit.  ``stall_pass=<name>`` narrows the site to one
+    pass; without it every pass draws."""
+    plan = current_plan()
+    if plan is None or plan.rate("pass.stall") <= 0.0:
+        return
+    if plan.stall_pass and plan.stall_pass != pass_name:
+        return
+    if should_fire("pass.stall"):
         time.sleep(plan.stall_seconds)
 
 

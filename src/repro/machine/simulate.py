@@ -151,11 +151,15 @@ def _simulate_impl(
         ]
     )
 
-    cls = classify_accesses(
-        proc, addr, write, machine.cache, word_bytes=machine.word_bytes,
-        l2=machine.l2,
-    )
-    local = local_miss_mask(addr, proc, machine.numa)
+    # The classification sweep is its own wall-time ledger anchor: it
+    # dominates simulate() for large streams and must be attributable
+    # separately from the per-phase cost loop below.
+    with obs.span("sim.classify", cat="machine", accesses=int(len(addr))):
+        cls = classify_accesses(
+            proc, addr, write, machine.cache, word_bytes=machine.word_bytes,
+            l2=machine.l2,
+        )
+        local = local_miss_mask(addr, proc, machine.numa)
     miss = cls.miss & ~cls.l2_hit  # L2-served misses never reach memory
     miss_local = miss & local
     miss_remote = miss & ~local

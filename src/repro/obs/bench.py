@@ -16,7 +16,10 @@ new snapshot against a baseline with noise-aware thresholds:
   baseline from another machine can't gate wall time meaningfully);
 * **simulated counters** — exact match (the simulator is
   deterministic, so *any* drift is a semantic change that must be
-  either fixed or explicitly re-baselined).
+  either fixed or explicitly re-baselined);
+* **wall-time ledger** (schema 3, from :mod:`repro.obs.perf`) — the
+  row set and per-pass run counts are deterministic and gated exactly;
+  per-row self times follow the wall rule above.
 
 ``python -m repro bench`` is the CLI;
 ``python -m repro bench --compare BENCH_latest.json`` exits nonzero on
@@ -38,7 +41,6 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.obs import core as _obs_core
-from repro.obs import provenance
 from repro.util.atomicio import write_atomic
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "append_bench_series",
     "append_series",
     "compare_snapshots",
+    "describe_host_mismatch",
     "host_fingerprint",
     "load_snapshot",
     "load_series_lines",
@@ -63,7 +66,13 @@ __all__ = [
 #   2 — adds sim.locality (reuse-distance / set-pressure / heatmap
 #       fingerprint, exact-match gated) and the non-gated "profile"
 #       key (top self-time functions; timing, so never compared).
-SCHEMA_VERSION = 2
+#   3 — adds the per-point "perf" key (wall-time ledger from
+#       repro.obs.perf — row set and counts exact-match gated,
+#       self-time columns noise-gated like wall.min — plus the
+#       collapsed-stack blob, never gated) and extends the host
+#       fingerprint with cpu/cores so cross-host skips are
+#       explainable.  Schema-2 baselines are incomparable; regenerate.
+SCHEMA_VERSION = 3
 
 DEFAULT_APPS = ("simple", "stencil5")
 DEFAULT_SCHEMES = ("base", "comp", "data")
@@ -91,15 +100,46 @@ FLOAT_REL_TOL = 1e-9
 _FAILING = ("regressed", "changed", "missing", "incomparable")
 
 
-def host_fingerprint() -> Dict[str, str]:
+def _cpu_model() -> str:
+    """Best-effort CPU model string (``platform.processor()`` is empty
+    on most Linux builds; fall back to /proc/cpuinfo)."""
+    cpu = platform.processor()
+    if not cpu:
+        try:
+            with open("/proc/cpuinfo") as fh:
+                for line in fh:
+                    if line.lower().startswith(("model name", "hardware")):
+                        cpu = line.split(":", 1)[1].strip()
+                        break
+        except OSError:
+            pass
+    return cpu or platform.machine()
+
+
+def host_fingerprint() -> Dict[str, Any]:
     """Identity of the measuring machine; wall-time comparisons are
-    only meaningful between equal fingerprints."""
+    only meaningful between equal fingerprints.  The fields double as
+    the explanation when a comparison skips its wall gate —
+    :func:`describe_host_mismatch` names exactly which ones differ."""
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": platform.python_version(),
         "node": platform.node(),
+        "cpu": _cpu_model(),
+        "cores": os.cpu_count() or 0,
     }
+
+
+def describe_host_mismatch(a: Dict[str, Any], b: Dict[str, Any]) -> str:
+    """Compact ``field: x vs y`` listing of differing fingerprint
+    fields — the human-readable reason a wall gate was skipped."""
+    diffs = []
+    for k in sorted(set(a) | set(b)):
+        va, vb = a.get(k), b.get(k)
+        if va != vb:
+            diffs.append(f"{k}: {va!r} vs {vb!r}")
+    return "; ".join(diffs)
 
 
 def point_key(point: Dict[str, Any]) -> str:
@@ -121,36 +161,25 @@ def _bench_point(session, point, prog, repeats: int) -> Dict[str, Any]:
     """Measure one grid coordinate (a
     :class:`~repro.pipeline.grid.GridPoint`) on the shared engine's
     program/machine mapping."""
-    from repro.codegen.emit_optimized import emit_optimized_program
     from repro.codegen.spmd import parse_scheme
     from repro.machine.simulate import simulate
+    from repro.obs.perf import measure_point
     from repro.pipeline.grid import point_machine
 
     scheme = parse_scheme(point.scheme)
     nprocs = point.nprocs
     machine = point_machine(point, prog)
-    # Compile once (timed), with a private collector capturing the
-    # addressing-overhead counters the optimizer emits; the optimized
-    # emitter is what exercises the div/mod strength reduction.
-    obs.enable(reset=True)
-    t0 = time.perf_counter()
-    spmd = session.compile(prog, scheme, nprocs)
-    compile_s = time.perf_counter() - t0
-    prov = session.last_provenance.copy()
-    with provenance.capture() as addr_records:
-        emit_optimized_program(spmd)
-    prov.extend(addr_records)
-    counters = obs.collector().metrics.snapshot()["counters"]
-    addressing = {
-        name.split(".", 1)[1]: value
-        for name, value in counters.items()
-        if name.startswith("addropt.")
-    }
-    obs.disable()
-    obs.reset()
-
-    # One detail run for the deterministic machine metrics ...
-    res = simulate(spmd, machine, detail=True, locality=True)
+    # One observed window (private collector, "perf.point" root span)
+    # measures the compile, captures the addressing-overhead counters
+    # the optimized emitter emits, runs the detail simulation for the
+    # deterministic machine metrics, and yields the wall-time ledger
+    # plus — from a separate sampled run — the collapsed stacks.
+    m = measure_point(session, prog, scheme, nprocs, machine,
+                      locality=True, collect_stacks=True)
+    res = m["res"]
+    compile_s = m["compile_s"]
+    addressing = m["addressing"]
+    prov = m["provenance"]
     sim: Dict[str, Any] = {
         "total_time": res.total_time,
         "n_accesses": res.n_accesses,
@@ -176,25 +205,21 @@ def _bench_point(session, point, prog, repeats: int) -> Dict[str, Any]:
         # any reuse/pressure histogram fails the bench comparison.
         sim["locality"] = res.locality
 
-    # ... and N timed repeats of the plain simulation for wall time.
+    # N timed repeats of the plain simulation for wall time (obs is
+    # disabled here — run_bench turned it off around the grid, and
+    # measure_point restored that state).
+    spmd = m["spmd"]
     samples: List[float] = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         simulate(spmd, machine)
         samples.append(time.perf_counter() - t0)
 
-    # One extra sampled run for the hotspot fingerprint.  Kept outside
-    # the timed repeats (the sampler's hook would inflate them) and
-    # outside "sim" (wall-clock attribution is nondeterministic, so the
-    # exact-match gate must never read it).
-    from repro.obs.hotspot import HotspotProfiler
-
-    prof = HotspotProfiler()
-    prof.start()
-    try:
-        simulate(spmd, machine)
-    finally:
-        hot = prof.stop()
+    # The hotspot fingerprint comes from measure_point's sampled run,
+    # kept outside the timed repeats (the sampler's hook would inflate
+    # them) and outside "sim" (wall-clock attribution is
+    # nondeterministic, so the exact-match gate must never read it).
+    hot = m["hot"]
     profile = {
         "wall_s": hot.wall_s,
         "samples": hot.samples,
@@ -224,9 +249,13 @@ def _bench_point(session, point, prog, repeats: int) -> Dict[str, Any]:
         },
         "sim": sim,
         "profile": profile,
+        # Schema 3: the wall-time ledger (row set + counts exact-match
+        # gated, self-time noise-gated) and the collapsed-stack blob
+        # (never gated; `repro perf`/flamegraphs consume it).
+        "perf": {"ledger": m["ledger"], "stacks": m["stacks"]},
         # Decision provenance rides along for `repro diff` root-cause
-        # attribution; compare_snapshots only reads "sim"/"wall", so
-        # this key never affects the regression gate.
+        # attribution; compare_snapshots never reads it, so this key
+        # never affects the regression gate.
         "provenance": [r.as_dict() for r in prov],
     }
 
@@ -619,6 +648,12 @@ def compare_snapshots(
         ))
         return cmp
     cmp.wall_gated = baseline.get("host") == current.get("host")
+    host_note = "different host; wall gate off"
+    if not cmp.wall_gated:
+        mismatch = describe_host_mismatch(
+            baseline.get("host") or {}, current.get("host") or {})
+        if mismatch:
+            host_note = f"different host ({mismatch}); wall gate off"
 
     cur_points = {point_key(p): p for p in current["points"]}
     seen = set()
@@ -654,7 +689,7 @@ def compare_snapshots(
         base_min = bp["wall"]["min"]
         cur_min = cp["wall"]["min"]
         if not cmp.wall_gated:
-            status, note = "skipped", "different host; wall gate off"
+            status, note = "skipped", host_note
         elif (cur_min > base_min * (1.0 + wall_tol)
               and cur_min - base_min > wall_abs_floor):
             status = "regressed"
@@ -668,6 +703,47 @@ def compare_snapshots(
             point=key, metric="wall.min",
             baseline=base_min, current=cur_min, status=status, note=note,
         ))
+        # Wall-time ledger (schema 3): the row set and anchor counts
+        # are deterministic — any drift is "changed" regardless of
+        # host — while per-row self time is wall-clock, so it uses the
+        # same same-host + relative-AND-absolute rule as wall.min.
+        # Quiet ledger rows are omitted (a point carries a dozen).
+        base_led = (bp.get("perf") or {}).get("ledger")
+        cur_led = (cp.get("perf") or {}).get("ledger")
+        if base_led and cur_led:
+            rows_a = {(r["kind"], r["name"]): r for r in base_led["rows"]}
+            rows_b = {(r["kind"], r["name"]): r for r in cur_led["rows"]}
+            for rk in sorted(set(rows_a) | set(rows_b)):
+                kind, name = rk
+                label = name if kind == "residual" else f"{kind}/{name}"
+                ra, rb = rows_a.get(rk), rows_b.get(rk)
+                if ra is None or rb is None:
+                    cmp.rows.append(DeltaRow(
+                        point=key, metric=f"perf.{label}",
+                        baseline="present" if ra else "absent",
+                        current="present" if rb else "absent",
+                        status="changed",
+                        note="ledger row appeared/disappeared",
+                    ))
+                    continue
+                if kind != "residual" and ra["count"] != rb["count"]:
+                    cmp.rows.append(DeltaRow(
+                        point=key, metric=f"perf.{label}.count",
+                        baseline=ra["count"], current=rb["count"],
+                        status="changed",
+                        note="ledger count drifted (exact-match gate)",
+                    ))
+                    continue
+                if not cmp.wall_gated:
+                    continue
+                a, b = float(ra["self_s"]), float(rb["self_s"])
+                if b > a * (1.0 + wall_tol) and b - a > wall_abs_floor:
+                    cmp.rows.append(DeltaRow(
+                        point=key, metric=f"perf.{label}.self_s",
+                        baseline=a, current=b, status="regressed",
+                        note=f"ledger self time over +{wall_tol:.0%} "
+                             "threshold",
+                    ))
     for key in cur_points:
         if key not in seen:
             cmp.rows.append(DeltaRow(

@@ -224,6 +224,22 @@ def write_chrome_trace(
     return path
 
 
+def write_collapsed(path: str, stacks: Any) -> str:
+    """Write collapsed/folded stack lines (``frame;frame value``) to
+    ``path``; returns the path.  ``stacks`` is either a ``{stack:
+    seconds}`` mapping (sorted, 6-decimal values — the same rendering
+    as :meth:`repro.obs.hotspot.HotspotReport.collapsed`) or
+    pre-rendered lines.  The format is what external flamegraph
+    tooling (``flamegraph.pl`` etc.) consumes directly."""
+    if isinstance(stacks, dict):
+        lines = [f"{k} {stacks[k]:.6f}" for k in sorted(stacks)]
+    else:
+        lines = [str(s).rstrip("\n") for s in (stacks or [])]
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
 def write_json(path: str, collector: Optional[Collector] = None) -> str:
     """Write the full structured dump to ``path``; returns the path."""
     with open(path, "w") as fh:

@@ -25,6 +25,14 @@ Design:
   opaque C calls (numpy kernels) emit no events while running; their
   time is attributed at the next sampled event, which — at the default
   interval — still sits in the function that issued them.
+* With ``collect_stacks=True`` each sample additionally records the
+  full repro stack in collapsed/folded form (``outer;inner`` keys,
+  seconds accumulated per distinct stack) —
+  :meth:`HotspotReport.collapsed` emits the classic folded lines that
+  :func:`repro.obs.flame.flamegraph_svg` renders.  The default is off:
+  the self/cum attribution above stays byte-identical either way, and
+  the extra per-sample join is only paid when a flamegraph was asked
+  for.
 * Per-function self/cumulative distributions are held in
   :class:`repro.obs.metrics.Histogram` instances (count/sum/min/max +
   deterministic p50/p95), and :meth:`HotspotReport.to_obs` copies them
@@ -127,6 +135,9 @@ class HotspotReport:
     samples: int
     interval: int
     functions: List[FunctionStat] = field(default_factory=list)
+    # Collapsed stacks ({"outer;inner": seconds}); None unless the
+    # profiler ran with collect_stacks=True.
+    stacks: Optional[Dict[str, float]] = None
     # The raw per-function histograms, kept for to_obs().
     _hists: Dict[str, Tuple[Histogram, Histogram]] = field(
         default_factory=dict, repr=False)
@@ -144,6 +155,14 @@ class HotspotReport:
         for f in self.functions:
             out[f.module] = out.get(f.module, 0.0) + f.self_s
         return {k: out[k] for k in sorted(out)}
+
+    def collapsed(self) -> List[str]:
+        """The sampled stacks as folded lines (``a;b;c 0.000123``,
+        seconds, stack-sorted) — flamegraph input.  Empty when the
+        profiler ran without ``collect_stacks``."""
+        if not self.stacks:
+            return []
+        return [f"{k} {self.stacks[k]:.6f}" for k in sorted(self.stacks)]
 
     def as_dict(self, top: Optional[int] = None) -> Dict[str, Any]:
         fns = self.functions if top is None else self.top(top)
@@ -190,12 +209,17 @@ class HotspotProfiler:
     """
 
     def __init__(self, interval: int = DEFAULT_INTERVAL,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.perf_counter,
+                 collect_stacks: bool = False):
         if interval < 1:
             raise ValueError("interval must be >= 1")
         self.interval = int(interval)
         self._clock = clock
         self._hists: Dict[str, Tuple[Histogram, Histogram]] = {}
+        # Collapsed-stack accumulator; None keeps the default sample
+        # path free of the per-sample key join.
+        self._stacks: Optional[Dict[str, float]] = (
+            {} if collect_stacks else None)
         self._ticks = 0
         self._samples = 0
         self._t_start = 0.0
@@ -251,12 +275,16 @@ class HotspotProfiler:
         # Attribute: self to the innermost repro frame, cumulative to
         # every distinct repro function on the stack.
         hists = self._hists
+        stacks = self._stacks
+        path: Optional[List[str]] = [] if stacks is not None else None
         self_key = None
         seen = None
         f = frame
         while f is not None:
             key = _func_key(f.f_code)
             if key is not None:
+                if path is not None:
+                    path.append(key)  # innermost first; reversed below
                 if self_key is None:
                     self_key = key
                     seen = {key}
@@ -267,6 +295,9 @@ class HotspotProfiler:
                         entry = hists[key] = (Histogram(key), Histogram(key))
                     entry[1].observe(dt)
             f = f.f_back
+        if stacks is not None:
+            skey = ";".join(reversed(path)) if path else EXTERNAL
+            stacks[skey] = stacks.get(skey, 0.0) + dt
         if self_key is None:
             self_key = EXTERNAL
         entry = hists.get(self_key)
@@ -300,6 +331,8 @@ class HotspotProfiler:
             samples=self._samples,
             interval=self.interval,
             functions=stats,
+            stacks=(dict(self._stacks)
+                    if self._stacks is not None else None),
             _hists=self._hists,
         )
 
@@ -318,8 +351,9 @@ def active() -> Optional[HotspotProfiler]:
 class _ProfileContext:
     """Context manager handed out by :func:`profile`."""
 
-    def __init__(self, interval: int):
-        self.profiler = HotspotProfiler(interval=interval)
+    def __init__(self, interval: int, collect_stacks: bool = False):
+        self.profiler = HotspotProfiler(interval=interval,
+                                        collect_stacks=collect_stacks)
         self.report: Optional[HotspotReport] = None
 
     def __enter__(self) -> "_ProfileContext":
@@ -331,6 +365,7 @@ class _ProfileContext:
         return False
 
 
-def profile(interval: int = DEFAULT_INTERVAL) -> _ProfileContext:
+def profile(interval: int = DEFAULT_INTERVAL,
+            collect_stacks: bool = False) -> _ProfileContext:
     """``with hotspot.profile() as p: ...`` — ``p.report`` afterwards."""
-    return _ProfileContext(interval)
+    return _ProfileContext(interval, collect_stacks=collect_stacks)

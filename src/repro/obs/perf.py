@@ -1,0 +1,441 @@
+"""Differential performance attribution: the wall-time ledger and the
+``repro perf`` engines.
+
+The repo could already *detect* a wall regression (``bench --compare``)
+and root-cause *semantic* divergence (``repro diff`` over decision
+provenance); this module closes the remaining loop by attributing a
+wall-time delta to the passes, simulator phases, and functions
+responsible.  Three pieces:
+
+* :func:`build_ledger` — an **exhaustive, reconciled** accounting of
+  one recording.  Every span's *self* time (duration minus its direct
+  children) is rolled up into the nearest enclosing **anchor** row —
+  ``pass.<name>`` spans from :class:`~repro.pipeline.manager.PassManager`,
+  the simulator's ``sim.phase``/``sim.trace``/``sim.classify``/
+  ``sim.locality`` hooks — or an ``other/<span>`` row when no anchor
+  encloses it.  The difference between the measured wall total and the
+  sum of all span self-times lands in an explicit ``<unattributed>``
+  residual row, so the rows **must** sum back to the measured total:
+  the accounting is falsifiable, and
+  :func:`ledger_reconciles` is the check tests run on every point.
+* :func:`measure_point` / :func:`record_point` — one observed
+  compile + simulate window producing the ledger, the deterministic
+  machine metrics, and a collapsed-stack sample
+  (:mod:`repro.obs.flame` renders it); ``repro bench`` stores both per
+  grid point since snapshot schema 3.
+* :func:`perf_diff` — aligns two runs (bench snapshots or ``perf
+  record`` payloads) and ranks the ledger rows whose self-time moved,
+  with the same noise discipline as ``bench --compare``: row *sets*
+  and *counts* are deterministic and gated exactly; self-time columns
+  are gated only on the same host and only past a relative tolerance
+  AND an absolute floor.
+
+Ledger reconciliation rules (the falsifiability contract):
+
+1. ``sum(row.self_s for all rows) == total_s`` to float rounding —
+   the span-tree self-time decomposition is exact, and the residual
+   row absorbs everything outside any span.
+2. ``<unattributed>`` is never negative beyond rounding: the total is
+   clocked from *before* the root span opens.
+3. Anchor row counts equal the number of times the anchor span itself
+   ran (descendant spans add time, never count), so pass-row counts
+   are exactly the pass-manager run counts — deterministic, and
+   exact-match-gated by ``bench --compare``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.obs import core as _obs_core
+
+__all__ = [
+    "PERF_SCHEMA",
+    "UNATTRIBUTED",
+    "PerfDiff",
+    "PerfRowDelta",
+    "build_ledger",
+    "ledger_reconciles",
+    "measure_point",
+    "perf_diff",
+    "record_point",
+]
+
+PERF_SCHEMA = 1
+UNATTRIBUTED = "<unattributed>"
+
+# Reconciliation slack: the decomposition is exact, so only float
+# rounding separates the row sum from the measured total.
+RECONCILE_REL_TOL = 1e-6
+RECONCILE_ABS_TOL = 1e-6
+
+
+def _anchor_key(name: str, attrs: Mapping[str, Any]
+                ) -> Optional[Tuple[str, str]]:
+    """The ledger row a span *is* (not merely contributes to)."""
+    if name.startswith("pass."):
+        return ("pass", name[len("pass."):])
+    if name == "sim.phase":
+        return ("phase", str(attrs.get("nest", "?")))
+    if name.startswith("sim.trace"):
+        return ("sim", "trace")
+    if name == "sim.classify":
+        return ("sim", "classify")
+    if name == "sim.locality":
+        return ("sim", "locality")
+    if name == "sim.simulate":
+        return ("sim", "simulate")
+    return None
+
+
+def build_ledger(collector: Optional[_obs_core.Collector] = None,
+                 total_s: float = 0.0) -> Dict[str, Any]:
+    """Roll one recording's spans up into the wall-time ledger.
+
+    ``total_s`` is the externally measured wall total the rows must
+    reconcile against; the gap between it and the span sum becomes the
+    ``<unattributed>`` residual row (kind ``residual``, count 0).
+    """
+    c = collector or _obs_core.collector()
+    spans = list(c.spans)
+    by_id = {s.span_id: s for s in spans}
+    child_sum: Dict[int, float] = {}
+    for s in spans:
+        if s.parent_id in by_id:
+            child_sum[s.parent_id] = (
+                child_sum.get(s.parent_id, 0.0) + (s.end - s.start))
+
+    anchor_cache: Dict[int, Optional[Tuple[str, str]]] = {}
+
+    def anchor_of(s: _obs_core.Span) -> Optional[Tuple[str, str]]:
+        if s.span_id in anchor_cache:
+            return anchor_cache[s.span_id]
+        key = _anchor_key(s.name, s.attrs)
+        if key is None and s.parent_id in by_id:
+            key = anchor_of(by_id[s.parent_id])
+        anchor_cache[s.span_id] = key
+        return key
+
+    rows: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    span_sum = 0.0
+    for s in spans:
+        self_s = (s.end - s.start) - child_sum.get(s.span_id, 0.0)
+        span_sum += self_s
+        key = anchor_of(s) or ("other", s.name)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = {"kind": key[0], "name": key[1],
+                               "self_s": 0.0, "count": 0}
+        row["self_s"] += self_s
+        # Only the anchor span itself bumps the count; descendants
+        # roll time in silently.  "other" rows count raw spans.
+        if key[0] == "other" or _anchor_key(s.name, s.attrs) == key:
+            row["count"] += 1
+    unattributed = total_s - span_sum
+    out_rows = [rows[k] for k in sorted(rows)]
+    out_rows.append({"kind": "residual", "name": UNATTRIBUTED,
+                     "self_s": unattributed, "count": 0})
+    return {
+        "total_s": total_s,
+        "attributed_s": span_sum,
+        "unattributed_s": unattributed,
+        "rows": out_rows,
+    }
+
+
+def ledger_reconciles(ledger: Mapping[str, Any],
+                      rel_tol: float = RECONCILE_REL_TOL,
+                      abs_tol: float = RECONCILE_ABS_TOL
+                      ) -> Tuple[bool, float]:
+    """Check rule 1: rows (incl. residual) sum to the measured total.
+
+    Returns ``(ok, row_sum)`` so callers can report the drift.
+    """
+    total = float(ledger["total_s"])
+    row_sum = sum(float(r["self_s"]) for r in ledger["rows"])
+    ok = abs(row_sum - total) <= max(abs_tol, rel_tol * abs(total))
+    return ok, row_sum
+
+
+# -- measurement -------------------------------------------------------------
+
+def measure_point(session, prog, scheme, nprocs: int, machine, *,
+                  locality: bool = True, collect_stacks: bool = True,
+                  interval: Optional[int] = None) -> Dict[str, Any]:
+    """One observed compile + detail-simulate window for one point.
+
+    Opens a private collector, records the whole window under a
+    ``perf.point`` root span, and returns the ledger, the simulation
+    result (deterministic machine metrics), the addressing counters,
+    the captured decision provenance, and — from a *separate* sampled
+    run kept outside the ledger window, since the profiling hook would
+    inflate it — the hotspot report and collapsed stacks.  The global
+    obs state is saved and restored.
+    """
+    from repro.codegen.emit_optimized import emit_optimized_program
+    from repro.machine.simulate import simulate
+    from repro.obs import provenance
+    from repro.obs.hotspot import HotspotProfiler
+
+    saved_enabled = _obs_core._enabled
+    saved_collector = _obs_core._collector
+    try:
+        obs.enable(reset=True)
+        t_start = time.perf_counter()
+        with obs.span("perf.point", cat="perf", program=prog.name,
+                      scheme=scheme.value, nprocs=nprocs):
+            t0 = time.perf_counter()
+            spmd = session.compile(prog, scheme, nprocs)
+            compile_s = time.perf_counter() - t0
+            prov = session.last_provenance.copy()
+            with provenance.capture() as addr_records:
+                emit_optimized_program(spmd)
+            prov.extend(addr_records)
+            res = simulate(spmd, machine, detail=True, locality=locality)
+        total_s = time.perf_counter() - t_start
+        counters = obs.collector().metrics.snapshot()["counters"]
+        addressing = {
+            name.split(".", 1)[1]: value
+            for name, value in counters.items()
+            if name.startswith("addropt.")
+        }
+        ledger = build_ledger(obs.collector(), total_s)
+    finally:
+        _obs_core._collector = saved_collector
+        _obs_core._enabled = saved_enabled
+
+    kw: Dict[str, Any] = {"collect_stacks": collect_stacks}
+    if interval is not None:
+        kw["interval"] = interval
+    prof = HotspotProfiler(**kw)
+    prof.start()
+    try:
+        simulate(spmd, machine)
+    finally:
+        hot = prof.stop()
+    return {
+        "spmd": spmd,
+        "res": res,
+        "compile_s": compile_s,
+        "addressing": addressing,
+        "ledger": ledger,
+        "hot": hot,
+        "stacks": hot.collapsed(),
+        "provenance": prov,
+    }
+
+
+def record_point(app: str, scheme, nprocs: int, *, n: int = 16,
+                 time_steps: Optional[int] = None, scale: int = 16,
+                 interval: Optional[int] = None) -> Dict[str, Any]:
+    """``repro perf record``: measure one (app, scheme, procs) point
+    on the shared grid engine's program/machine mapping and return a
+    bench-snapshot-shaped payload (``provenance.load_run`` and
+    :func:`perf_diff` both accept it directly)."""
+    from datetime import datetime, timezone
+
+    from repro.codegen.spmd import scheme_short_name
+    from repro.obs.bench import host_fingerprint
+    from repro.pipeline.grid import GridSpec, point_machine, point_program
+    from repro.pipeline.session import CompileSession
+
+    spec = GridSpec(apps=(app,),
+                    schemes=(scheme_short_name(scheme),),
+                    procs=(int(nprocs),),
+                    n=n, time_steps=time_steps, scale=scale)
+    point = spec.points()[0]
+    prog = point_program(point)
+    machine = point_machine(point, prog)
+    m = measure_point(CompileSession(), prog, scheme, nprocs,
+                      machine, locality=False, collect_stacks=True,
+                      interval=interval)
+    res = m["res"]
+    return {
+        "schema": PERF_SCHEMA,
+        "kind": "perf",
+        "created": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
+        "host": host_fingerprint(),
+        "config": {"app": app, "scheme": point.scheme, "nprocs": nprocs,
+                   "n": n, "time_steps": time_steps, "scale": scale},
+        "points": [{
+            "app": point.app,
+            "scheme": point.scheme,
+            "nprocs": nprocs,
+            "machine_fp": machine.fingerprint(),
+            "compile_s": m["compile_s"],
+            "sim": {"total_time": res.total_time,
+                    "n_accesses": res.n_accesses},
+            "perf": {"ledger": m["ledger"], "stacks": m["stacks"]},
+        }],
+    }
+
+
+# -- diffing -----------------------------------------------------------------
+
+@dataclass
+class PerfRowDelta:
+    """One aligned ledger row of one grid point."""
+
+    point: str
+    row: str    # "pass/layout", "phase/<nest>", "sim/trace", residual name
+    kind: str
+    baseline: Optional[float]  # self_s, seconds
+    current: Optional[float]
+    base_count: Optional[int] = None
+    cur_count: Optional[int] = None
+    status: str = "ok"  # ok | regressed | improved | changed | skipped
+    note: str = ""
+
+    @property
+    def delta(self) -> float:
+        return (self.current or 0.0) - (self.baseline or 0.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point, "row": self.row, "kind": self.kind,
+            "baseline": self.baseline, "current": self.current,
+            "base_count": self.base_count, "cur_count": self.cur_count,
+            "delta": self.delta, "status": self.status, "note": self.note,
+        }
+
+
+@dataclass
+class PerfDiff:
+    """Outcome of one run-vs-run ledger alignment."""
+
+    rows: List[PerfRowDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    n_points: int = 0
+    n_rows: int = 0
+    wall_gated: bool = True
+    host_note: str = ""
+    wall_tol: float = 0.30
+    wall_abs_floor: float = 0.010
+
+    @property
+    def significant(self) -> bool:
+        return any(r.status in ("regressed", "improved", "changed")
+                   for r in self.rows)
+
+    @property
+    def culprits(self) -> List[PerfRowDelta]:
+        return [r for r in self.rows
+                if r.status in ("regressed", "improved", "changed")]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rows": [r.as_dict() for r in self.rows],
+            "notes": list(self.notes),
+            "n_points": self.n_points,
+            "n_rows": self.n_rows,
+            "wall_gated": self.wall_gated,
+            "host_note": self.host_note,
+            "wall_tol": self.wall_tol,
+            "wall_abs_floor": self.wall_abs_floor,
+            "significant": self.significant,
+        }
+
+
+def _point_ledgers(run: Mapping[str, Any]
+                   ) -> Dict[str, Optional[Dict[str, Any]]]:
+    """Per-point ledgers of any loadable run shape.
+
+    Bench snapshots (schema ≥ 3) and ``perf record`` payloads carry
+    ``points[*].perf.ledger``; older snapshots and ``batch --json``
+    runs map to ``None`` (alignable, but nothing to compare)."""
+    out: Dict[str, Optional[Dict[str, Any]]] = {}
+    for p in run.get("points") or run.get("results") or []:
+        if not isinstance(p, dict):
+            continue
+        key = (f"{p.get('app', '?')}/{p.get('scheme', '?')}"
+               f"/P{p.get('nprocs', '?')}")
+        out[key] = (p.get("perf") or {}).get("ledger")
+    return out
+
+
+def perf_diff(run_a: Mapping[str, Any], run_b: Mapping[str, Any],
+              wall_tol: float = 0.30,
+              wall_abs_floor: float = 0.010) -> PerfDiff:
+    """Align two runs' ledgers and rank the rows that moved.
+
+    Mirrors the ``bench --compare`` noise discipline: the row *set*
+    and anchor *counts* are deterministic, so any drift is
+    ``changed`` (significant) regardless of host; ``self_s`` columns
+    are wall-clock, so they are compared only when both runs share a
+    host fingerprint, and flagged only past ``wall_tol`` relative AND
+    ``wall_abs_floor`` seconds absolute.  Rows come back ranked by
+    absolute self-time movement, largest first.
+    """
+    pd = PerfDiff(wall_tol=wall_tol, wall_abs_floor=wall_abs_floor)
+    host_a, host_b = run_a.get("host"), run_b.get("host")
+    pd.wall_gated = host_a == host_b
+    if not pd.wall_gated:
+        from repro.obs.bench import describe_host_mismatch
+        pd.host_note = describe_host_mismatch(host_a or {}, host_b or {})
+    la, lb = _point_ledgers(run_a), _point_ledgers(run_b)
+    for key in sorted(set(la) - set(lb)):
+        pd.notes.append(f"{key}: only in baseline run")
+    for key in sorted(set(lb) - set(la)):
+        pd.notes.append(f"{key}: only in current run")
+    for key in sorted(set(la) & set(lb)):
+        pd.n_points += 1
+        A, B = la[key], lb[key]
+        if A is None and B is None:
+            pd.notes.append(
+                f"{key}: no ledger in either run "
+                "(pre-schema-3 snapshot or batch run); skipped")
+            continue
+        if A is None or B is None:
+            which = "baseline" if A is None else "current"
+            pd.notes.append(f"{key}: no ledger in {which} run; skipped")
+            continue
+        rows_a = {(r["kind"], r["name"]): r for r in A["rows"]}
+        rows_b = {(r["kind"], r["name"]): r for r in B["rows"]}
+        for rk in sorted(set(rows_a) | set(rows_b)):
+            pd.n_rows += 1
+            kind, name = rk
+            label = name if kind == "residual" else f"{kind}/{name}"
+            ra, rb = rows_a.get(rk), rows_b.get(rk)
+            if ra is None or rb is None:
+                pd.rows.append(PerfRowDelta(
+                    point=key, row=label, kind=kind,
+                    baseline=None if ra is None else ra["self_s"],
+                    current=None if rb is None else rb["self_s"],
+                    base_count=None if ra is None else ra["count"],
+                    cur_count=None if rb is None else rb["count"],
+                    status="changed",
+                    note="ledger row appeared/disappeared "
+                         "(deterministic structure drift)",
+                ))
+                continue
+            if kind != "residual" and ra["count"] != rb["count"]:
+                pd.rows.append(PerfRowDelta(
+                    point=key, row=label, kind=kind,
+                    baseline=ra["self_s"], current=rb["self_s"],
+                    base_count=ra["count"], cur_count=rb["count"],
+                    status="changed",
+                    note=f"count drifted {ra['count']} → {rb['count']} "
+                         "(exact-match gate)",
+                ))
+                continue
+            a, b = float(ra["self_s"]), float(rb["self_s"])
+            if not pd.wall_gated:
+                continue  # self-time incomparable across hosts
+            if b > a * (1.0 + wall_tol) and b - a > wall_abs_floor:
+                status, note = "regressed", (
+                    f"self time over +{wall_tol:.0%} threshold")
+            elif b < a * (1.0 - wall_tol) and a - b > wall_abs_floor:
+                status, note = "improved", ""
+            else:
+                continue  # quiet row
+            pd.rows.append(PerfRowDelta(
+                point=key, row=label, kind=kind, baseline=a, current=b,
+                base_count=ra["count"], cur_count=rb["count"],
+                status=status, note=note,
+            ))
+    pd.rows.sort(key=lambda r: (-abs(r.delta), r.point, r.row))
+    return pd

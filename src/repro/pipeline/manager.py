@@ -57,6 +57,10 @@ class PassManager:
                       scheme=ctx.scheme.value if ctx.scheme else None,
                       nprocs=ctx.nprocs):
             try:
+                # The stall fires inside the pass span so the injected
+                # delay is booked against this pass in the wall-time
+                # ledger (the perf CI job's attribution target).
+                faults.maybe_pass_stall(pass_.name)
                 faults.check(
                     "pass",
                     pass_name=pass_.name,

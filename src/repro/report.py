@@ -701,6 +701,88 @@ def format_regression_table(comparison, title: str = "bench comparison",
     return "\n".join(lines)
 
 
+def format_ledger_table(ledger: Mapping, title: str = "wall-time ledger",
+                        top: int = 25) -> str:
+    """Render one wall-time ledger
+    (:func:`repro.obs.perf.build_ledger`): rows by descending self
+    time, plus the reconciliation verdict that makes the accounting
+    falsifiable — the rows (including ``<unattributed>``) must sum
+    back to the measured total."""
+    from repro.obs.perf import ledger_reconciles
+
+    total = float(ledger["total_s"])
+    lines = [title]
+    share = (ledger["unattributed_s"] / total) if total else 0.0
+    lines.append(
+        f"total {total * 1e3:.2f} ms; attributed "
+        f"{ledger['attributed_s'] * 1e3:.2f} ms; <unattributed> "
+        f"{ledger['unattributed_s'] * 1e3:.3f} ms ({share:.1%})"
+    )
+    header = (f"{'kind':9s} {'row':36s} {'self ms':>10s} "
+              f"{'share':>7s} {'count':>6s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    rows = sorted(ledger["rows"],
+                  key=lambda r: (-r["self_s"], r["kind"], r["name"]))
+    for r in rows[:top]:
+        frac = (r["self_s"] / total) if total else 0.0
+        lines.append(
+            f"{r['kind']:9s} {r['name']:36s} {r['self_s'] * 1e3:10.3f} "
+            f"{frac:7.1%} {r['count']:6d}"
+        )
+    if len(rows) > top:
+        lines.append(f"... {len(rows) - top} more rows")
+    ok, row_sum = ledger_reconciles(ledger)
+    lines.append(
+        f"reconciliation: {'OK' if ok else 'BROKEN'} "
+        f"(rows sum {row_sum * 1e3:.3f} ms vs total {total * 1e3:.3f} ms)"
+    )
+    return "\n".join(lines)
+
+
+def format_perf_diff_table(pd, title: str = "perf diff",
+                           top: int = 20) -> str:
+    """Ranked culprit table of one :func:`repro.obs.perf.perf_diff`:
+    the ledger rows whose self time (or deterministic count) moved,
+    largest absolute movement first."""
+    lines = [title]
+    gate = "on" if pd.wall_gated else (
+        f"off ({pd.host_note})" if pd.host_note else "off (different host)")
+    lines.append(
+        f"compared {pd.n_points} point{'s' if pd.n_points != 1 else ''}, "
+        f"{pd.n_rows} ledger rows; wall gate {gate}, "
+        f"tol {pd.wall_tol:.0%}, floor {pd.wall_abs_floor * 1e3:.0f} ms"
+    )
+    culprits = pd.culprits
+    if culprits:
+        header = (
+            f"{'rank':4s} {'point':20s} {'row':26s} {'base ms':>9s} "
+            f"{'cur ms':>9s} {'delta ms':>9s}  status"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for rank, r in enumerate(culprits[:top], 1):
+            base = "-" if r.baseline is None else f"{r.baseline * 1e3:.3f}"
+            cur = "-" if r.current is None else f"{r.current * 1e3:.3f}"
+            status = r.status + (f" ({r.note})" if r.note else "")
+            lines.append(
+                f"#{rank:<3d} {r.point:20s} {r.row:26s} {base:>9s} "
+                f"{cur:>9s} {r.delta * 1e3:+9.3f}  {status}"
+            )
+        if len(culprits) > top:
+            lines.append(f"... {len(culprits) - top} more rows")
+    else:
+        lines.append("(no significant self-time or count movement)")
+    for note in pd.notes:
+        lines.append(f"note: {note}")
+    n = len(culprits)
+    lines.append(
+        f"verdict: {'SIGNIFICANT' if pd.significant else 'QUIET'} "
+        f"({n} row{'s' if n != 1 else ''} moved)"
+    )
+    return "\n".join(lines)
+
+
 def markdown_speedup_table(curves: Mapping[str, Series]) -> str:
     """The same data as a Markdown table (for EXPERIMENTS.md)."""
     procs = [p for p, _ in next(iter(curves.values()))]

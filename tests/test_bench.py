@@ -47,7 +47,9 @@ class TestRunBench:
     def test_snapshot_shape(self, snap):
         assert snap["schema"] == bench.SCHEMA_VERSION
         assert set(snap["host"]) == {"platform", "machine", "python",
-                                     "node"}
+                                     "node", "cpu", "cores"}
+        assert snap["host"]["cpu"]
+        assert snap["host"]["cores"] >= 1
         assert snap["config"]["apps"] == ["simple"]
         assert snap["config"]["schemes"] == ["base", "comp"]
         assert len(snap["points"]) == 4
@@ -59,6 +61,16 @@ class TestRunBench:
             assert p["sim"]["n_accesses"] > 0
             assert "misses" in p["sim"]
             assert "numa" in p["sim"] and "conflict" in p["sim"]
+
+    def test_points_carry_perf_ledger_and_stacks(self, snap):
+        # Schema 3: every point stores the wall-time ledger and a
+        # collapsed-stack blob next to the snapshot.
+        for p in snap["points"]:
+            ledger = p["perf"]["ledger"]
+            kinds = {r["kind"] for r in ledger["rows"]}
+            assert "pass" in kinds and "residual" in kinds
+            assert p["perf"]["stacks"]  # folded "a;b value" lines
+            assert all(" " in line for line in p["perf"]["stacks"])
 
     def test_addressing_counters_recorded(self, snap):
         # The optimized emitter's strength reduction fires somewhere in
@@ -205,6 +217,107 @@ class TestCompare:
         cmp = compare_snapshots(snap, cur)
         assert not cmp.ok and cmp.rows[0].metric == "schema"
 
+    def test_schema2_snapshot_loads_but_is_incomparable(self, snap,
+                                                        tmp_path):
+        # A committed schema-2 baseline (no "perf" key, old host shape)
+        # must still load fine and fail the gate as incomparable — not
+        # crash on the missing ledger.
+        old = copy.deepcopy(snap)
+        old["schema"] = 2
+        old["host"] = {k: old["host"][k] for k in
+                       ("platform", "machine", "python", "node")}
+        for p in old["points"]:
+            p.pop("perf")
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(old))
+        loaded = load_snapshot(path)
+        assert loaded["schema"] == 2
+        cmp = compare_snapshots(loaded, snap)
+        assert not cmp.ok and cmp.rows[0].status == "incomparable"
+
+    def test_missing_ledger_in_baseline_not_compared(self, snap):
+        # Same schema but a point without "perf" (defensive): the
+        # ledger gate simply doesn't apply to that point.
+        base = copy.deepcopy(snap)
+        for p in base["points"]:
+            p.pop("perf")
+        assert compare_snapshots(base, snap).ok
+
+
+class TestCompareLedger:
+    """The schema-3 ledger gate: deterministic structure exact,
+    self-time noise-gated like wall.min."""
+
+    def test_ledger_count_drift_fails_exactly(self, snap):
+        cur = copy.deepcopy(snap)
+        row = cur["points"][0]["perf"]["ledger"]["rows"][0]
+        row["count"] += 1
+        cmp = compare_snapshots(snap, cur)
+        assert not cmp.ok
+        bad = cmp.regressions
+        assert len(bad) == 1
+        assert bad[0].metric.startswith("perf.") and \
+            bad[0].metric.endswith(".count")
+        assert bad[0].status == "changed"
+
+    def test_ledger_row_vanished_fails(self, snap):
+        cur = copy.deepcopy(snap)
+        led = cur["points"][0]["perf"]["ledger"]
+        led["rows"] = [r for r in led["rows"] if r["kind"] != "pass"]
+        cmp = compare_snapshots(snap, cur)
+        assert not cmp.ok
+        assert all(r.note == "ledger row appeared/disappeared"
+                   for r in cmp.regressions)
+
+    def test_ledger_self_time_noise_gated(self, snap):
+        # +200% relative but under the 10ms floor: quiet.  Past both
+        # thresholds: regressed.
+        base = copy.deepcopy(snap)
+        cur = copy.deepcopy(snap)
+        for bp, cp in zip(base["points"], cur["points"]):
+            for br, cr in zip(bp["perf"]["ledger"]["rows"],
+                              cp["perf"]["ledger"]["rows"]):
+                br["self_s"] = 0.001
+                cr["self_s"] = 0.003
+        assert compare_snapshots(base, cur).ok
+        cur["points"][0]["perf"]["ledger"]["rows"][0]["self_s"] = 1.0
+        cmp = compare_snapshots(base, cur)
+        assert not cmp.ok
+        assert cmp.regressions[0].metric.endswith(".self_s")
+
+    def test_ledger_self_time_not_gated_cross_host(self, snap):
+        cur = copy.deepcopy(snap)
+        cur["host"] = dict(cur["host"], node="elsewhere")
+        for p in cur["points"]:
+            for r in p["perf"]["ledger"]["rows"]:
+                r["self_s"] += 10.0
+        assert compare_snapshots(snap, cur).ok
+
+    def test_host_mismatch_skip_message_names_fields(self, snap):
+        cur = copy.deepcopy(snap)
+        cur["host"] = dict(cur["host"], node="elsewhere", cores=9999)
+        cmp = compare_snapshots(snap, cur)
+        skipped = [r for r in cmp.rows if r.status == "skipped"]
+        assert skipped
+        assert "node" in skipped[0].note and "cores" in skipped[0].note
+        assert "wall gate off" in skipped[0].note
+
+
+class TestHostFingerprint:
+    def test_fingerprint_fields(self):
+        fp = bench.host_fingerprint()
+        assert fp["cpu"] and isinstance(fp["cores"], int)
+        assert fp["python"].count(".") >= 1
+
+    def test_describe_host_mismatch(self):
+        a = {"node": "a", "cpu": "x", "cores": 4}
+        b = {"node": "b", "cpu": "x", "cores": 8}
+        msg = bench.describe_host_mismatch(a, b)
+        assert "node: 'a' vs 'b'" in msg
+        assert "cores: 4 vs 8" in msg
+        assert "cpu" not in msg
+        assert bench.describe_host_mismatch(a, dict(a)) == ""
+
 
 class TestBenchTable:
     def test_format_bench_table(self, snap):
@@ -242,6 +355,25 @@ class TestBenchCLI:
         assert rc == 1
         out = capsys.readouterr().out
         assert "sim.total_time" in out and "REGRESSED" in out
+
+    def test_wall_gate_trip_prints_perf_culprits(self, tmp_path, capsys):
+        # A tripped wall gate must auto-print the differential
+        # attribution (perf culprit table) next to the provenance diff.
+        assert self._run(tmp_path) == 0
+        baseline = load_snapshot(tmp_path / "BENCH_latest.json")
+        for p in baseline["points"]:
+            p["wall"]["min"] = 1e-9
+            for r in p["perf"]["ledger"]["rows"]:
+                r["self_s"] *= 1e-6
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        rc = self._run(tmp_path, "--compare", str(doctored),
+                       "--wall-abs-floor", "0.0")
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "perf culprits vs baseline" in out
+        assert "SIGNIFICANT" in out
 
     def test_compare_resolves_baseline_before_save(self, tmp_path):
         # --compare against the pointer must mean the *previous* run.

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import contextlib
 import json
 
 import pytest
@@ -177,3 +178,79 @@ class TestIncrementalCli:
         out = capsys.readouterr().out
         assert "result store: 4 verdicts served, 0 verified live" in out
         assert "ALL OK" in out
+
+
+class TestBrokenPipe:
+    """``repro <table-printing-cmd> | head`` must exit 141 (128 +
+    SIGPIPE), not traceback: ``main()`` converts ``BrokenPipeError``
+    for every subcommand.  Simulated in-process by pointing
+    ``sys.stdout`` at a pipe whose read end is already closed, so the
+    first line each command prints raises ``EPIPE``."""
+
+    _GRID = ["--apps", "simple", "--schemes", "base",
+             "--procs-list", "1", "--n", "8"]
+
+    @contextlib.contextmanager
+    def _broken_stdout(self):
+        import os
+        import sys
+
+        r, w = os.pipe()
+        os.close(r)
+        saved = sys.stdout
+        # Line-buffered: the first print hits the dead pipe at once.
+        stream = os.fdopen(w, "w", buffering=1)
+        sys.stdout = stream
+        try:
+            yield
+        finally:
+            sys.stdout = saved
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def test_series_exits_141(self, tmp_path):
+        with self._broken_stdout():
+            rc = main(["series", "--file",
+                       str(tmp_path / "missing.jsonl")])
+        assert rc == 141
+
+    def test_explain_exits_141(self):
+        with self._broken_stdout():
+            rc = main(["explain", "simple", "--n", "8", "--procs", "2"])
+        assert rc == 141
+
+    def test_diff_exits_141(self, tmp_path):
+        from repro.codegen.spmd import parse_scheme
+        from repro.obs.perf import record_point
+
+        run = record_point("simple", parse_scheme("base"), 1, n=8)
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(run))
+        with self._broken_stdout():
+            rc = main(["diff", str(path), str(path)])
+        assert rc == 141
+
+    def test_hotspots_exits_141(self):
+        import sys
+
+        with self._broken_stdout():
+            rc = main(["hotspots", *self._GRID, "--repeats", "1"])
+        assert rc == 141
+        assert sys.getprofile() is None, "profiler hook leaked"
+
+    def test_report_exits_141(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["batch", *self._GRID, "--store-dir", store,
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        capsys.readouterr()
+        with self._broken_stdout():
+            rc = main(["report", "--store-dir", store])
+        assert rc == 141
+
+    def test_perf_record_exits_141(self):
+        with self._broken_stdout():
+            rc = main(["perf", "record", "simple", "--scheme", "base",
+                       "--procs", "1", "--n", "8"])
+        assert rc == 141

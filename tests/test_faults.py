@@ -69,6 +69,21 @@ class TestFaultPlan:
         faults.configure("seed=1,driver.kill=0.0")
         faults.maybe_driver_kill()  # rate 0: also a no-op
 
+    def test_pass_stall_site_and_target_round_trip(self):
+        assert "pass.stall" in faults.SITES
+        plan = faults.FaultPlan.parse(
+            "seed=1,pass.stall=1.0,stall_s=0.25,stall_pass=layout"
+        )
+        assert plan.rate("pass.stall") == 1.0
+        assert plan.stall_pass == "layout"
+        assert faults.FaultPlan.parse(plan.spec()) == plan
+
+    def test_pass_stall_inactive_is_noop(self):
+        # Unconfigured, and configured-but-untargeted: no sleep call.
+        faults.maybe_pass_stall("layout")
+        faults.configure("seed=1,pass.stall=0.0")
+        faults.maybe_pass_stall("layout")
+
     def test_parse_rejects_unknown_site(self):
         with pytest.raises(ValueError, match="unknown fault site"):
             faults.FaultPlan.parse("bogus=0.5")

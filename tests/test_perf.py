@@ -1,0 +1,325 @@
+"""Differential performance attribution (PR-10): the wall-time ledger
+(build, reconciliation contract, anchor rollup), ``perf record``
+payloads, and the ``perf diff`` noise matrix.
+
+The load-bearing contracts:
+
+* ledger rows (incl. ``<unattributed>``) sum back to the measured wall
+  total on every point — the accounting is falsifiable;
+* two same-config runs produce no significant diff rows, while an
+  injected per-pass stall is ranked as the top culprit;
+* deterministic structure (row sets, counts) gates exactly; self time
+  gates only same-host and only past relative AND absolute thresholds.
+"""
+
+import copy
+import json
+import time
+
+import pytest
+
+from repro import faults, obs
+from repro.__main__ import main
+from repro.codegen.spmd import parse_scheme
+from repro.obs import bench
+from repro.obs import core as _obs_core
+from repro.obs.perf import (
+    UNATTRIBUTED,
+    build_ledger,
+    ledger_reconciles,
+    perf_diff,
+    record_point,
+)
+from repro.pipeline import reset_session
+from repro.report import format_ledger_table, format_perf_diff_table
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    obs.reset()
+    faults.configure(None)
+    reset_session()
+    yield
+    obs.disable()
+    obs.reset()
+    faults.configure(None)
+    reset_session()
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """One ``perf record`` payload, shared read-only (deep-copy before
+    mutating)."""
+    return record_point("simple", parse_scheme("data"), 2, n=8)
+
+
+class TestBuildLedger:
+    def test_rollup_attributes_descendants_to_anchor(self):
+        # A non-anchor child span inside a pass span: its self time
+        # rolls into the pass row, but only the pass itself counts.
+        obs.enable(reset=True)
+        with obs.span("pass.layout", cat="pipeline"):
+            time.sleep(0.002)
+            with obs.span("decomp.greedy", cat="decomp"):
+                time.sleep(0.002)
+        total = 0.02
+        ledger = build_ledger(obs.collector(), total)
+        rows = {(r["kind"], r["name"]): r for r in ledger["rows"]}
+        assert ("pass", "layout") in rows
+        assert ("other", "decomp.greedy") not in rows
+        row = rows[("pass", "layout")]
+        assert row["count"] == 1
+        assert row["self_s"] >= 0.004 * 0.5  # both sleeps
+        ok, _ = ledger_reconciles(ledger)
+        assert ok
+
+    def test_unanchored_span_gets_other_row(self):
+        obs.enable(reset=True)
+        with obs.span("compiler.compile", cat="compiler"):
+            pass
+        ledger = build_ledger(obs.collector(), 1.0)
+        rows = {(r["kind"], r["name"]) for r in ledger["rows"]}
+        assert ("other", "compiler.compile") in rows
+
+    def test_residual_is_total_minus_span_sum(self):
+        obs.enable(reset=True)
+        with obs.span("sim.simulate", cat="machine"):
+            time.sleep(0.001)
+        ledger = build_ledger(obs.collector(), 10.0)
+        assert ledger["rows"][-1]["name"] == UNATTRIBUTED
+        assert ledger["unattributed_s"] == pytest.approx(
+            10.0 - ledger["attributed_s"])
+        ok, row_sum = ledger_reconciles(ledger)
+        assert ok and row_sum == pytest.approx(10.0)
+
+    def test_empty_recording_is_all_residual(self):
+        obs.enable(reset=True)
+        ledger = build_ledger(obs.collector(), 0.5)
+        assert len(ledger["rows"]) == 1
+        assert ledger["rows"][0]["self_s"] == 0.5
+
+    def test_reconciles_on_every_bench_grid_point(self):
+        # The acceptance property: exhaustive accounting on a real grid.
+        snap = bench.run_bench(apps=["simple"], schemes=["base", "data"],
+                               procs=[1, 2], n=8, repeats=1)
+        for p in snap["points"]:
+            ledger = p["perf"]["ledger"]
+            ok, row_sum = ledger_reconciles(ledger)
+            assert ok, (bench.point_key(p), row_sum, ledger["total_s"])
+            assert ledger["unattributed_s"] >= -1e-9
+            names = {r["name"] for r in ledger["rows"]}
+            assert UNATTRIBUTED in names
+
+    def test_obs_state_restored_by_measure(self, recorded):
+        # record_point ran in the module fixture; the global obs state
+        # must be back to disabled here.
+        assert not obs.enabled()
+        assert _obs_core._collector is None or not obs.enabled()
+
+
+class TestRecordPoint:
+    def test_payload_shape(self, recorded):
+        assert recorded["kind"] == "perf"
+        assert set(recorded["host"]) == {"platform", "machine", "python",
+                                         "node", "cpu", "cores"}
+        (point,) = recorded["points"]
+        assert point["app"] == "simple" and point["nprocs"] == 2
+        assert point["sim"]["n_accesses"] > 0
+        ok, _ = ledger_reconciles(point["perf"]["ledger"])
+        assert ok
+        kinds = {r["kind"] for r in point["perf"]["ledger"]["rows"]}
+        assert {"pass", "sim", "residual"} <= kinds
+
+    def test_stacks_are_folded_lines(self, recorded):
+        from repro.obs.flame import parse_collapsed
+
+        stacks = recorded["points"][0]["perf"]["stacks"]
+        assert stacks
+        parsed = parse_collapsed(stacks)
+        assert all(v > 0 for v in parsed.values())
+
+    def test_payload_json_safe(self, recorded):
+        assert json.loads(json.dumps(recorded)) == recorded
+
+    def test_ledger_table_renders(self, recorded):
+        table = format_ledger_table(recorded["points"][0]["perf"]["ledger"])
+        assert "reconciliation: OK" in table
+        assert UNATTRIBUTED in table
+
+
+class TestPerfDiff:
+    def test_identical_runs_quiet(self, recorded):
+        pd = perf_diff(recorded, copy.deepcopy(recorded))
+        assert not pd.significant
+        assert pd.n_points == 1 and pd.rows == []
+        assert "QUIET" in format_perf_diff_table(pd)
+
+    def test_sub_threshold_drift_quiet(self, recorded):
+        cur = copy.deepcopy(recorded)
+        for r in cur["points"][0]["perf"]["ledger"]["rows"]:
+            r["self_s"] *= 1.05  # +5%, under the 30% relative gate
+        assert not perf_diff(recorded, cur).significant
+
+    def test_sub_floor_jitter_quiet(self, recorded):
+        # +200% relative but +2ms absolute: under the 10ms floor.
+        base = copy.deepcopy(recorded)
+        cur = copy.deepcopy(recorded)
+        for br, cr in zip(base["points"][0]["perf"]["ledger"]["rows"],
+                          cur["points"][0]["perf"]["ledger"]["rows"]):
+            br["self_s"] = 0.001
+            cr["self_s"] = 0.003
+        assert not perf_diff(base, cur).significant
+        assert perf_diff(base, cur, wall_abs_floor=0.0).significant
+
+    def test_injected_slowdown_ranked_first(self, recorded):
+        cur = copy.deepcopy(recorded)
+        rows = cur["points"][0]["perf"]["ledger"]["rows"]
+        target = next(r for r in rows if r["kind"] == "pass")
+        target["self_s"] += 5.0
+        pd = perf_diff(recorded, cur)
+        assert pd.significant
+        top = pd.culprits[0]
+        assert top.row == f"pass/{target['name']}"
+        assert top.status == "regressed"
+        table = format_perf_diff_table(pd)
+        assert f"pass/{target['name']}" in table and "#1" in table
+
+    def test_count_drift_is_changed_even_cross_host(self, recorded):
+        cur = copy.deepcopy(recorded)
+        cur["host"] = dict(cur["host"], node="elsewhere")
+        rows = cur["points"][0]["perf"]["ledger"]["rows"]
+        next(r for r in rows if r["kind"] == "pass")["count"] += 1
+        pd = perf_diff(recorded, cur)
+        assert not pd.wall_gated
+        assert pd.significant
+        assert pd.culprits[0].status == "changed"
+        assert "count drifted" in pd.culprits[0].note
+
+    def test_wall_not_gated_cross_host_with_explanation(self, recorded):
+        cur = copy.deepcopy(recorded)
+        cur["host"] = dict(cur["host"], node="elsewhere")
+        for r in cur["points"][0]["perf"]["ledger"]["rows"]:
+            r["self_s"] += 10.0
+        pd = perf_diff(recorded, cur)
+        assert not pd.significant and not pd.wall_gated
+        assert "node" in pd.host_note
+        assert "node" in format_perf_diff_table(pd)
+
+    def test_vanished_row_is_changed(self, recorded):
+        cur = copy.deepcopy(recorded)
+        led = cur["points"][0]["perf"]["ledger"]
+        led["rows"] = [r for r in led["rows"] if r["kind"] != "phase"]
+        pd = perf_diff(recorded, cur)
+        assert pd.significant
+        assert all(r.status == "changed" for r in pd.culprits)
+
+    def test_run_without_ledger_skipped_with_note(self, recorded):
+        old = copy.deepcopy(recorded)
+        for p in old["points"]:
+            p.pop("perf")
+        pd = perf_diff(old, recorded)
+        assert not pd.significant
+        assert any("no ledger" in n for n in pd.notes)
+
+    def test_diff_accepts_bench_snapshots(self):
+        snap = bench.run_bench(apps=["simple"], schemes=["base"],
+                               procs=[1], n=8, repeats=1)
+        pd = perf_diff(snap, copy.deepcopy(snap))
+        assert pd.n_points == 1 and not pd.significant
+
+    def test_as_dict_json_safe(self, recorded):
+        cur = copy.deepcopy(recorded)
+        cur["points"][0]["perf"]["ledger"]["rows"][0]["self_s"] += 5.0
+        d = perf_diff(recorded, cur).as_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["significant"] is True
+
+
+class TestPassStallFault:
+    def test_stall_pass_parse_and_spec_round_trip(self):
+        plan = faults.FaultPlan.parse(
+            "seed=3,pass.stall=1.0,stall_s=0.25,stall_pass=layout")
+        assert plan.rates["pass.stall"] == 1.0
+        assert plan.stall_pass == "layout"
+        assert faults.FaultPlan.parse(plan.spec()).stall_pass == "layout"
+
+    def test_stall_narrowed_to_named_pass(self, monkeypatch):
+        faults.configure("seed=1,pass.stall=1.0,stall_s=0.01,"
+                         "stall_pass=layout")
+        slept = []
+        monkeypatch.setattr(time, "sleep", lambda s: slept.append(s))
+        faults.maybe_pass_stall("decompose")
+        assert slept == []
+        faults.maybe_pass_stall("layout")
+        assert slept == [0.01]
+
+    def test_stall_books_against_pass_ledger_row(self):
+        # End to end: the injected stall must land in that pass's
+        # ledger row — the attribution the perf CI job asserts.
+        base = record_point("simple", parse_scheme("data"), 2, n=8)
+        faults.configure("seed=1,pass.stall=1.0,stall_s=0.05,"
+                         "stall_pass=layout")
+        try:
+            stalled = record_point("simple", parse_scheme("data"), 2, n=8)
+        finally:
+            faults.configure(None)
+        pd = perf_diff(base, stalled, wall_abs_floor=0.02)
+        assert pd.significant
+        assert pd.culprits[0].row == "pass/layout"
+
+
+class TestPerfCLI:
+    def test_record_json_stdout(self, capsys):
+        rc = main(["perf", "record", "simple", "--scheme", "data",
+                   "--procs", "2", "--n", "8", "--json", "-"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wall-time ledger: simple/data/P2" in out
+        payload = json.loads(out[out.index('{\n  "config"'):])
+        assert payload["kind"] == "perf"
+        ok, _ = ledger_reconciles(payload["points"][0]["perf"]["ledger"])
+        assert ok
+
+    def test_record_artifacts(self, tmp_path, capsys):
+        import xml.etree.ElementTree as ET
+
+        flame = tmp_path / "flame.svg"
+        stacks = tmp_path / "stacks.collapsed"
+        rc = main(["perf", "record", "simple", "--scheme", "base",
+                   "--procs", "1", "--n", "8",
+                   "--flame", str(flame), "--stacks", str(stacks)])
+        assert rc == 0
+        ET.parse(flame)  # well-formed XML
+        from repro.obs.flame import parse_collapsed
+
+        assert parse_collapsed(stacks.read_text().splitlines())
+
+    def test_record_unknown_app_rejected(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["perf", "record", "bogus"])
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        base = record_point("simple", parse_scheme("base"), 1, n=8)
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        doctored = copy.deepcopy(base)
+        rows = doctored["points"][0]["perf"]["ledger"]["rows"]
+        next(r for r in rows if r["kind"] == "pass")["self_s"] += 5.0
+        b.write_text(json.dumps(doctored))
+        assert main(["perf", "diff", str(a), str(a)]) == 0
+        assert main(["perf", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "SIGNIFICANT" in out
+        assert main(["perf", "diff", str(a),
+                     str(tmp_path / "missing.json")]) == 2
+
+    def test_diff_json_output(self, tmp_path, capsys):
+        base = record_point("simple", parse_scheme("base"), 1, n=8)
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(base))
+        rc = main(["perf", "diff", str(a), str(a), "--json"])
+        assert rc == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["significant"] is False and d["n_points"] == 1
